@@ -1,0 +1,337 @@
+// Package repro's top-level benchmarks regenerate, one per table/figure,
+// miniature versions of every experiment in the paper's evaluation
+// (Section 7). Each benchmark reports paper-shape metrics (improvement
+// percentages, promotion rates, hit distributions) alongside Go's timing
+// so `go test -bench` doubles as a quick-look harness; `cmd/dasbench`
+// runs the full-length versions.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/area"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+// benchConfig is small enough to keep one benchmark iteration around a
+// second on a laptop core while exercising every mechanism.
+func benchConfig() config.Config {
+	c := config.Scaled()
+	c.RowsPerBank = 512 // 128 MB
+	c.InstrPerCore = 300_000
+	c.TagCacheKB = 4
+	return c
+}
+
+// metricName maps a design to a whitespace-free metric label.
+func metricName(d core.Design) string {
+	switch d {
+	case core.SAS:
+		return "SAS"
+	case core.CHARM:
+		return "CHARM"
+	case core.DAS:
+		return "DAS"
+	case core.DASFM:
+		return "DAS-FM"
+	case core.FS:
+		return "FS"
+	default:
+		return "Std"
+	}
+}
+
+// runImprovement measures one design over one benchmark and returns the
+// improvement percentage.
+func runImprovement(b *testing.B, s *exp.Session, cfg config.Config, d core.Design, set []string) float64 {
+	b.Helper()
+	_, imp, err := s.CachedVs(cfg, d, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return imp
+}
+
+// BenchmarkTable1Baseline measures the Standard-DRAM configuration of
+// Table 1 (episode-scaled): the baseline every figure normalizes to.
+func BenchmarkTable1Baseline(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		res, err := s.Baseline([]string{"mcf"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PerCore[0].IPC, "IPC")
+		b.ReportMetric(res.PerCore[0].MPKI, "MPKI")
+	}
+}
+
+// BenchmarkTable2Workloads drives every Table 2 generator through a
+// functional pass (the workload substrate alone).
+func BenchmarkTable2Workloads(b *testing.B) {
+	cfg := benchConfig()
+	var in workload.Instr
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for idx, name := range workload.AllSingleNames() {
+			gen, err := exp.MakeGenerator(cfg, name, idx%cfg.Cores)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := 0; k < 100_000; k++ {
+				gen.Next(&in)
+				if in.Mem {
+					n++
+				}
+			}
+		}
+		b.ReportMetric(float64(n), "memops")
+	}
+}
+
+// BenchmarkFig7a regenerates Figure 7a in miniature: single-programmed
+// improvements of every design.
+func BenchmarkFig7a(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		for _, d := range []core.Design{core.SAS, core.CHARM, core.DAS, core.DASFM, core.FS} {
+			imp := runImprovement(b, s, cfg, d, []string{"mcf"})
+			b.ReportMetric(imp, fmt.Sprintf("%%imp-%s", metricName(d)))
+		}
+	}
+}
+
+// BenchmarkFig7b regenerates Figure 7b's metrics (MPKI/PPKM/footprint)
+// under DAS-DRAM.
+func BenchmarkFig7b(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		res, err := s.Cached(cfg, core.DAS, []string{"mcf"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PerCore[0].MPKI, "MPKI")
+		b.ReportMetric(res.PerCore[0].PPKM, "PPKM")
+		b.ReportMetric(res.PerCore[0].FootprintMB, "footprintMB")
+	}
+}
+
+// BenchmarkFig7c regenerates Figure 7c: access-location split, static
+// versus dynamic.
+func BenchmarkFig7c(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		sas, err := s.Cached(cfg, core.SAS, []string{"mcf"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		das, err := s.Cached(cfg, core.DAS, []string{"mcf"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, sasFast, _ := sas.Access.Fractions()
+		_, dasFast, _ := das.Access.Fractions()
+		b.ReportMetric(sasFast*100, "%fast-static")
+		b.ReportMetric(dasFast*100, "%fast-dynamic")
+	}
+}
+
+// BenchmarkFig7d regenerates Figure 7d in miniature: a multi-programmed
+// mix on every design.
+func BenchmarkFig7d(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Cores = 4
+	cfg.InstrPerCore = 120_000
+	mix, err := workload.LookupMix("M5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		for _, d := range []core.Design{core.SAS, core.DAS, core.FS} {
+			imp := runImprovement(b, s, cfg, d, mix.Benchmarks)
+			b.ReportMetric(imp, fmt.Sprintf("%%imp-%s", metricName(d)))
+		}
+	}
+}
+
+// BenchmarkFig7e regenerates Figure 7e's mix behaviour metrics.
+func BenchmarkFig7e(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Cores = 4
+	cfg.InstrPerCore = 120_000
+	mix, _ := workload.LookupMix("M1")
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		res, err := s.Cached(cfg, core.DAS, mix.Benchmarks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mpki float64
+		for _, c := range res.PerCore {
+			mpki += c.MPKI
+		}
+		b.ReportMetric(mpki/4, "MPKI")
+		b.ReportMetric(res.PromPerAccess*100, "%prom/access")
+	}
+}
+
+// BenchmarkFig7f regenerates Figure 7f: mix access locations.
+func BenchmarkFig7f(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Cores = 4
+	cfg.InstrPerCore = 120_000
+	mix, _ := workload.LookupMix("M8")
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		das, err := s.Cached(cfg, core.DAS, mix.Benchmarks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, fast, slow := das.Access.Fractions()
+		b.ReportMetric(fast*100, "%fast")
+		b.ReportMetric(slow*100, "%slow")
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 in miniature: the filter-threshold
+// sweep.
+func BenchmarkFig8(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		for _, th := range exp.FilterThresholds {
+			v := cfg
+			v.FilterThreshold = th
+			imp := runImprovement(b, s, v, core.DAS, []string{"soplex"})
+			b.ReportMetric(imp, fmt.Sprintf("%%imp-thr%d", th))
+		}
+	}
+}
+
+// BenchmarkFig9a regenerates Figure 9a in miniature: tag-cache capacity.
+func BenchmarkFig9a(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		for _, kb := range []int{1, 2, 4, 8} {
+			v := cfg
+			v.TagCacheKB = kb
+			imp := runImprovement(b, s, v, core.DAS, []string{"mcf"})
+			b.ReportMetric(imp, fmt.Sprintf("%%imp-%dKB", kb))
+		}
+	}
+}
+
+// BenchmarkFig9b regenerates Figure 9b in miniature: migration group
+// sizes.
+func BenchmarkFig9b(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		for _, g := range exp.GroupSizes {
+			v := cfg
+			v.GroupSize = g
+			imp := runImprovement(b, s, v, core.DAS, []string{"soplex"})
+			b.ReportMetric(imp, fmt.Sprintf("%%imp-g%d", g))
+		}
+	}
+}
+
+// BenchmarkFig9c regenerates Figure 9c in miniature: fast-level ratios
+// with random replacement.
+func BenchmarkFig9c(b *testing.B) {
+	benchFig9Ratio(b, "random")
+}
+
+// BenchmarkFig9d regenerates Figure 9d in miniature: fast-level ratios
+// with LRU replacement.
+func BenchmarkFig9d(b *testing.B) {
+	benchFig9Ratio(b, "lru")
+}
+
+func benchFig9Ratio(b *testing.B, repl string) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		for _, d := range exp.FastRatios {
+			v := cfg
+			v.FastDenom = d
+			v.Replacement = repl
+			imp := runImprovement(b, s, v, core.DAS, []string{"mcf"})
+			b.ReportMetric(imp, fmt.Sprintf("%%imp-1/%d", d))
+		}
+	}
+}
+
+// BenchmarkPowerProxy regenerates the Section 7.7 energy comparison.
+func BenchmarkPowerProxy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		base, err := s.Baseline([]string{"soplex"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		das, err := s.Cached(cfg, core.DAS, []string{"soplex"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(das.EnergyProxy/base.EnergyProxy, "rel-energy")
+	}
+}
+
+// BenchmarkAreaModel regenerates the Section 4.3/7.6 area numbers (it is
+// analytical, so this mostly guards against regressions).
+func BenchmarkAreaModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := area.Default()
+		o8 := p.Overhead()
+		o4, err := p.OverheadForCapacityRatio(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(o8*100, "%area-1:2")
+		b.ReportMetric(o4*100, "%area-1/4")
+	}
+}
+
+// BenchmarkPagePolicyAblation compares the Table 1 open-page policy to a
+// closed-page controller (an ablation of the row-buffer-locality
+// assumption behind Figure 7c's row-buffer share).
+func BenchmarkPagePolicyAblation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		open := runImprovement(b, s, cfg, core.FS, []string{"libquantum"})
+		closed := cfg
+		closed.ClosedPage = true
+		cl := runImprovement(b, s, closed, core.FS, []string{"libquantum"})
+		b.ReportMetric(open, "%imp-open")
+		b.ReportMetric(cl, "%imp-closed")
+	}
+}
+
+// BenchmarkMigrationLatencySweep is an ablation bench: how the headline
+// DAS result depends on the migration-cell design's latency (DESIGN.md's
+// "lightweight migration is the enabling mechanism" claim).
+func BenchmarkMigrationLatencySweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(cfg)
+		for _, lat := range []float64{0, 73.125, 146.25, 292.5, 585} {
+			v := cfg
+			v.MigrationLatencyNS = lat
+			imp := runImprovement(b, s, v, core.DAS, []string{"soplex"})
+			b.ReportMetric(imp, fmt.Sprintf("%%imp-%.0fns", lat))
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command dasarea evaluates the analytical die-area model of Sections
+// 3-4: overhead of asymmetric-subarray designs for a given fast-bitline
+// length and fast-level capacity ratio, plus the TL-DRAM comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/area"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dasarea: ")
+
+	var (
+		fastCells = flag.Int("fast-bitline", 128, "cells per fast-subarray bitline")
+		slowCells = flag.Int("slow-bitline", 512, "cells per slow-subarray bitline")
+		ratio     = flag.Float64("fast-per-slow", 0.5, "fast subarrays per slow subarray (0.5 = the paper's 1:2 reduced interleaving)")
+		sweep     = flag.Bool("sweep", false, "sweep fast-level capacity ratios 1/32..1/2")
+	)
+	flag.Parse()
+
+	p := area.Default()
+	p.FastBitlineCells = *fastCells
+	p.SlowBitlineCells = *slowCells
+	p.FastSubarraysPerSlow = *ratio
+	if err := p.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fast bitline %d cells, slow bitline %d cells, %.2f fast subarrays per slow\n",
+		p.FastBitlineCells, p.SlowBitlineCells, p.FastSubarraysPerSlow)
+	fmt.Printf("fast-level capacity ratio: %.4f (1/%.1f)\n", p.FastCapacityRatio(), 1/p.FastCapacityRatio())
+	fmt.Printf("die-area overhead:         %.2f%%\n", p.Overhead()*100)
+	fmt.Printf("TL-DRAM comparison:        %.2f%%\n", area.DefaultTLDRAM().Overhead()*100)
+
+	if *sweep {
+		fmt.Println("\ncapacity-ratio sweep:")
+		for _, d := range []int{32, 16, 8, 4, 2} {
+			o, err := p.OverheadForCapacityRatio(d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  fast = 1/%-3d -> %.2f%% overhead\n", d, o*100)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Command dasbench regenerates the tables and figures of the paper's
+// evaluation (Section 7). Without flags it prints the configuration
+// tables; select experiments with -fig.
+//
+// Examples:
+//
+//	dasbench -fig 7a              # single-programming improvements
+//	dasbench -fig all -out results.txt
+//	dasbench -fig 7d -instr 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dasbench: ")
+
+	var (
+		figs     = flag.String("fig", "tables", "comma-separated figures: 7a,7b,7c,7d,7e,7f,8,9a,9b,9c,9d,power,area,table1,table2,all,tables")
+		instr    = flag.Uint64("instr", 0, "instructions per core (0 = config default)")
+		cfgPath  = flag.String("config", "", "JSON config file (default: episode-scaled Table 1)")
+		fullScal = flag.Bool("full-scale", false, "use the full 8 GB Table 1 memory instead of the episode-scaled 1 GB")
+		outPath  = flag.String("out", "", "write output to file instead of stdout")
+		seed     = flag.Uint64("seed", 0, "override workload seed")
+		csvDir   = flag.String("csv-dir", "", "also write each figure's tables as CSV files into this directory")
+		benchSel = flag.String("benchmarks", "", "comma-separated benchmark subset for single-programmed figures")
+		mixSel   = flag.String("mixes", "", "comma-separated mix subset (M1..M8) for multi-programmed figures")
+	)
+	flag.Parse()
+
+	cfg := config.Scaled()
+	if *fullScal {
+		cfg = config.Default()
+	}
+	if *cfgPath != "" {
+		c, err := config.Load(*cfgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = c
+	}
+	if *instr > 0 {
+		cfg.InstrPerCore = *instr
+	}
+	if *seed > 0 {
+		cfg.Seed = *seed
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	s := exp.NewSession(cfg)
+	if *benchSel != "" {
+		s.Benchmarks = strings.Split(*benchSel, ",")
+	}
+	if *mixSel != "" {
+		s.Mixes = strings.Split(*mixSel, ",")
+	}
+	wanted := strings.Split(*figs, ",")
+	if *figs == "all" {
+		wanted = []string{"table1", "table2", "area", "7a", "7b", "7c", "7d", "7e", "7f", "8", "9a", "9b", "9c", "9d", "power"}
+	} else if *figs == "tables" {
+		wanted = []string{"table1", "table2", "area"}
+	}
+
+	for _, name := range wanted {
+		name = strings.TrimSpace(strings.ToLower(name))
+		start := time.Now()
+		fig, err := dispatch(s, cfg, name)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprint(out, fig.Render())
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, fig); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if d := time.Since(start); d > time.Second {
+			log.Printf("%s done in %v", fig.ID, d.Round(time.Second))
+		}
+	}
+}
+
+// writeCSVs dumps each of a figure's tables as <dir>/<figID>[-i].csv.
+func writeCSVs(dir string, fig *exp.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, tbl := range fig.Tables {
+		name := fig.ID
+		if len(fig.Tables) > 1 {
+			name = fmt.Sprintf("%s-%d", fig.ID, i+1)
+		}
+		path := filepath.Join(dir, name+".csv")
+		if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatch maps a figure name to its driver.
+func dispatch(s *exp.Session, cfg config.Config, name string) (*exp.Figure, error) {
+	switch name {
+	case "table1":
+		return exp.Table1(cfg), nil
+	case "table2":
+		return exp.Table2(), nil
+	case "area":
+		return exp.AreaFigure(), nil
+	case "7a":
+		return s.Fig7a()
+	case "7b":
+		return s.Fig7b()
+	case "7c":
+		return s.Fig7c()
+	case "7d":
+		return s.Fig7d()
+	case "7e":
+		return s.Fig7e()
+	case "7f":
+		return s.Fig7f()
+	case "8":
+		return s.Fig8()
+	case "9a":
+		return s.Fig9a()
+	case "9b":
+		return s.Fig9b()
+	case "9c":
+		return s.Fig9c()
+	case "9d":
+		return s.Fig9d()
+	case "power":
+		return s.PowerFigure()
+	default:
+		return nil, fmt.Errorf("unknown figure %q", name)
+	}
+}

@@ -1,0 +1,122 @@
+// Command dastrace captures synthetic workload streams into the binary
+// trace format and inspects existing traces.
+//
+//	dastrace -capture mcf -n 1000000 -o mcf.trc
+//	dastrace -inspect mcf.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/exp"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dastrace: ")
+
+	var (
+		capture = flag.String("capture", "", "benchmark name to capture (see -list)")
+		n       = flag.Uint64("n", 1_000_000, "instructions to capture")
+		out     = flag.String("o", "", "output trace file (required with -capture)")
+		inspect = flag.String("inspect", "", "trace file to summarize")
+		list    = flag.Bool("list", false, "list available benchmarks")
+		seed    = flag.Uint64("seed", 0, "override workload seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, p := range workload.Catalog() {
+			fmt.Printf("%-12s footprint %5d MB, %2.0f%% memory instructions\n",
+				p.Name, p.FootprintBytes>>20, p.MemFraction*100)
+		}
+	case *capture != "":
+		if *out == "" {
+			log.Fatal("-capture requires -o")
+		}
+		cfg := config.Scaled()
+		if *seed > 0 {
+			cfg.Seed = *seed
+		}
+		gen, err := exp.MakeGenerator(cfg, *capture, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Capture(gen, *n, f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		st, _ := os.Stat(*out)
+		log.Printf("captured %d instructions of %s to %s (%d bytes, %.2f B/instr)",
+			*n, *capture, *out, st.Size(), float64(st.Size())/float64(*n))
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		summarize(f)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// summarize prints aggregate statistics of a trace.
+func summarize(r io.Reader) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var in workload.Instr
+	var total, mem, writes, dependent uint64
+	var minAddr, maxAddr uint64
+	pages := make(map[uint64]struct{})
+	minAddr = ^uint64(0)
+	for {
+		err := tr.Next(&in)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		total++
+		if !in.Mem {
+			continue
+		}
+		mem++
+		if in.Write {
+			writes++
+		}
+		if in.Dependent {
+			dependent++
+		}
+		if in.Addr < minAddr {
+			minAddr = in.Addr
+		}
+		if in.Addr > maxAddr {
+			maxAddr = in.Addr
+		}
+		pages[in.Addr>>12] = struct{}{}
+	}
+	fmt.Printf("instructions: %d\n", total)
+	fmt.Printf("memory ops:   %d (%.1f%%), %d writes, %d dependent loads\n",
+		mem, 100*float64(mem)/float64(total), writes, dependent)
+	fmt.Printf("address span: [%#x, %#x]\n", minAddr, maxAddr)
+	fmt.Printf("4K pages touched: %d (%.1f MB)\n", len(pages), float64(len(pages))/256)
+}

@@ -1,0 +1,102 @@
+// Latency explorer: drive the DRAM device and memory controller directly
+// (no CPU or caches) to measure raw access latency under different
+// fast-subarray timing sets, and relate each to its die-area cost — the
+// Section 3/4 trade-off that motivates asymmetric subarrays. This is the
+// lowest-level use of the library's public simulation API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/area"
+	"repro/internal/dram"
+	"repro/internal/mc"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// measure issues n dependent row-miss reads of class cls and returns the
+// average request latency in nanoseconds.
+func measure(params timing.Params, cls dram.RowClass, n int) float64 {
+	eng := sim.NewEngine()
+	dev, err := dram.New(dram.Config{
+		Geometry: dram.Default8GB(),
+		Slow:     timing.DDR31600Slow(),
+		Fast:     params,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := mc.New(mc.DefaultConfig(), eng, dev, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	geom := dev.Geometry()
+	var total sim.Time
+	done := 0
+	var issue func()
+	issue = func() {
+		if done == n {
+			return
+		}
+		// A new row every request: worst-case row-miss latency.
+		coord := geom.Decode(uint64(done) * geom.RowBytes() * uint64(geom.Channels*2))
+		start := eng.Now()
+		ctl.Enqueue(&mc.Request{
+			Coord: coord,
+			Class: cls,
+			Core:  0,
+			Done: func(mc.ServiceKind) {
+				total += eng.Now() - start
+				done++
+				issue() // dependent chain: next read starts on completion
+			},
+		})
+	}
+	issue()
+	// Refresh management keeps the event queue alive indefinitely, so
+	// step until the read chain completes rather than draining.
+	for done < n && eng.Step() {
+	}
+	return total.NS() / float64(n)
+}
+
+func main() {
+	log.SetFlags(0)
+	const reads = 2000
+
+	slowLat := measure(timing.DDR31600Slow(), dram.RowSlow, reads)
+	fmt.Printf("commodity rows (512-cell bitline): %.1f ns/dependent read\n\n", slowLat)
+	fmt.Println("fast-subarray design space (shorter bitlines -> lower tRCD/tRC, more area):")
+	fmt.Printf("%-22s %-10s %-10s %-10s %s\n", "variant", "tRCD(ns)", "tRC(ns)", "lat(ns)", "area overhead @1:2")
+
+	type variant struct {
+		name       string
+		trcd, tras int64 // cycles
+		cells      int
+	}
+	for _, v := range []variant{
+		{"256-cell bitline", 9, 18, 256},
+		{"128-cell (paper)", 7, 13, 128},
+		{"64-cell bitline", 6, 10, 64},
+		{"32-cell (RLDRAM-ish)", 5, 8, 32},
+	} {
+		p := timing.DDR31600Fast()
+		p.TRCD = v.trcd
+		p.TRAS = v.tras
+		p.TRP = v.trcd
+		p.TRC = v.tras + v.trcd
+		if err := p.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		lat := measure(p, dram.RowFast, reads)
+		ap := area.Default()
+		ap.FastBitlineCells = v.cells
+		fmt.Printf("%-22s %-10.2f %-10.2f %-10.1f %.2f%%\n",
+			v.name, float64(v.trcd)*1.25, float64(v.tras+v.trcd)*1.25, lat, ap.Overhead()*100)
+	}
+	fmt.Println("\nSpeed-up saturates below 128 cells while area keeps rising — the")
+	fmt.Println("Section 4.3 argument for the paper's 128-cell fast subarrays.")
+}

@@ -1,0 +1,170 @@
+// Package area implements the analytical silicon-area model of
+// Sections 3-4: the cost of fast (short-bitline) subarrays, the three
+// subarray arrangements of Figure 5, the migration-row overhead, and the
+// TL-DRAM comparison. It reproduces the paper's numbers: 6.6% overhead
+// for a 1:2 reduced-interleaving DAS-DRAM at 1/8 fast capacity, 11.3%
+// at 1/4, and ~24% for TL-DRAM's in-array isolation transistors.
+package area
+
+import "fmt"
+
+// Arrangement is a Figure 5 subarray arrangement.
+type Arrangement uint8
+
+const (
+	// Partitioning groups all fast subarrays at one end of the bank:
+	// free ratio, long migration paths.
+	Partitioning Arrangement = iota
+	// Interleaving alternates fast and slow subarrays: short migration
+	// paths, ratio locked to 1:1.
+	Interleaving
+	// ReducedInterleaving places one fast subarray per two slow ones:
+	// short paths at 1:2 (the paper's choice).
+	ReducedInterleaving
+)
+
+// String names the arrangement.
+func (a Arrangement) String() string {
+	switch a {
+	case Partitioning:
+		return "partitioning"
+	case Interleaving:
+		return "interleaving"
+	default:
+		return "reduced-interleaving"
+	}
+}
+
+// Params describes the physical design.
+type Params struct {
+	// SlowBitlineCells is the cells-per-bitline of a commodity subarray
+	// (512 in the paper).
+	SlowBitlineCells int
+	// FastBitlineCells is the cells-per-bitline of a fast subarray (128;
+	// Section 4.3 cites diminishing speed returns below that).
+	FastBitlineCells int
+	// RowBufferFraction is the sense-amplifier stripe height relative to
+	// a slow subarray (1/6 per CHARM).
+	RowBufferFraction float64
+	// FastSubarraysPerSlow is the fast:slow subarray count ratio
+	// (1:2 -> 0.5 for reduced interleaving).
+	FastSubarraysPerSlow float64
+	// MigrationRows is the number of migration-cell rows added per
+	// subarray (1 in the proposed design).
+	MigrationRows int
+	// PeripheralRows is the height (in cell-row units) of the extra
+	// decoder/column-mux stripe each fast subarray needs (Section 3.2:
+	// "more peripheral circuits such as decoders and column muxes").
+	PeripheralRows float64
+}
+
+// Default returns the paper's configuration.
+func Default() Params {
+	return Params{
+		SlowBitlineCells:     512,
+		FastBitlineCells:     128,
+		RowBufferFraction:    1.0 / 6.0,
+		FastSubarraysPerSlow: 0.5,
+		MigrationRows:        1,
+		PeripheralRows:       24,
+	}
+}
+
+// Validate checks the parameters.
+func (p *Params) Validate() error {
+	if p.SlowBitlineCells <= 0 || p.FastBitlineCells <= 0 {
+		return fmt.Errorf("area: bitline lengths must be positive")
+	}
+	if p.FastBitlineCells > p.SlowBitlineCells {
+		return fmt.Errorf("area: fast bitline (%d) longer than slow (%d)",
+			p.FastBitlineCells, p.SlowBitlineCells)
+	}
+	if p.RowBufferFraction <= 0 || p.RowBufferFraction >= 1 {
+		return fmt.Errorf("area: row-buffer fraction must be in (0,1)")
+	}
+	if p.FastSubarraysPerSlow < 0 {
+		return fmt.Errorf("area: negative subarray ratio")
+	}
+	if p.MigrationRows < 0 {
+		return fmt.Errorf("area: negative migration rows")
+	}
+	return nil
+}
+
+// FastCapacityRatio returns the fraction of total capacity in fast
+// subarrays for the configured ratio.
+func (p *Params) FastCapacityRatio() float64 {
+	fastCells := p.FastSubarraysPerSlow * float64(p.FastBitlineCells)
+	return fastCells / (fastCells + float64(p.SlowBitlineCells))
+}
+
+// Overhead returns the fractional die-area overhead of the asymmetric
+// design versus a homogeneous slow-subarray die of equal capacity.
+//
+// Model: a subarray's height is its cell rows plus a row-buffer stripe
+// of RowBufferFraction x (slow cell rows). Adding fast subarrays adds
+// one stripe plus MigrationRows cell rows per fast subarray, amortized
+// over the capacity the fast subarray itself contributes.
+func (p *Params) Overhead() float64 {
+	slow := float64(p.SlowBitlineCells)
+	fast := float64(p.FastBitlineCells)
+	stripe := p.RowBufferFraction * slow
+	// Per slow subarray: slow cells + its stripe.
+	// Per fast subarray (xFastSubarraysPerSlow): fast cells + a stripe +
+	// migration rows.
+	baseHeight := slow + stripe
+	asymHeight := baseHeight + p.FastSubarraysPerSlow*(fast+stripe+float64(p.MigrationRows)+p.PeripheralRows)
+	baseCells := slow
+	asymCells := slow + p.FastSubarraysPerSlow*fast
+	// Area per cell, normalized; overhead is the relative growth.
+	baseAreaPerCell := baseHeight / baseCells
+	asymAreaPerCell := asymHeight / asymCells
+	return asymAreaPerCell/baseAreaPerCell - 1
+}
+
+// OverheadForCapacityRatio returns the overhead of a design whose fast
+// level is 1/denom of total capacity, holding the other parameters. It
+// inverts FastCapacityRatio for the subarray ratio.
+func (p *Params) OverheadForCapacityRatio(denom int) (float64, error) {
+	if denom <= 1 {
+		return 0, fmt.Errorf("area: capacity denominator must exceed 1")
+	}
+	// ratio r = f*F/(f*F+S) where f = fast subarrays per slow.
+	r := 1.0 / float64(denom)
+	f := r * float64(p.SlowBitlineCells) / (float64(p.FastBitlineCells) * (1 - r))
+	q := *p
+	q.FastSubarraysPerSlow = f
+	return q.Overhead(), nil
+}
+
+// TLDRAM models the TL-DRAM overhead of Section 3.1 for comparison: the
+// isolation transistor stripe (~11.5 rows' height per subarray) plus the
+// half-density near segment.
+type TLDRAM struct {
+	SlowBitlineCells int
+	NearSegmentRows  int
+	IsolationRows    float64 // height of isolation stripe in row units
+	RowBufferRows    float64 // sense-amp stripe height in row units
+}
+
+// DefaultTLDRAM returns the Section 3.1 numbers (128 near-segment rows,
+// 11.5-row isolation stripe, 108-row sense-amp height).
+func DefaultTLDRAM() TLDRAM {
+	return TLDRAM{
+		SlowBitlineCells: 512,
+		NearSegmentRows:  128,
+		IsolationRows:    11.5,
+		RowBufferRows:    108,
+	}
+}
+
+// Overhead returns TL-DRAM's fractional area overhead: the near segment
+// occupies double-height cells (half density, because near segments must
+// sit on both open-bitline ends), plus the isolation stripe.
+func (t TLDRAM) Overhead() float64 {
+	base := float64(t.SlowBitlineCells) + t.RowBufferRows
+	// Near-segment rows cost twice their height; isolation stripe adds
+	// its own rows.
+	extra := float64(t.NearSegmentRows) + t.IsolationRows
+	return extra / base
+}

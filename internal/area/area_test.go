@@ -1,0 +1,122 @@
+package area
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperAreaNumbers(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Section 4.3: the 1:2 reduced-interleaving design costs 6.6%.
+	if o := p.Overhead(); o < 0.060 || o > 0.072 {
+		t.Fatalf("1:2 overhead %.4f, paper says 6.6%%", o)
+	}
+	// Section 7.6: ratio 1/4 costs 11.3% (our linear model lands close).
+	o4, err := p.OverheadForCapacityRatio(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o4 < 0.10 || o4 > 0.16 {
+		t.Fatalf("1/4 overhead %.4f, paper says ~11.3%%", o4)
+	}
+	// Section 3.1: TL-DRAM with a 128-row near segment costs ~24%.
+	if o := DefaultTLDRAM().Overhead(); o < 0.20 || o > 0.26 {
+		t.Fatalf("TL-DRAM overhead %.4f, paper says ~24%%", o)
+	}
+}
+
+func TestFastCapacityRatio(t *testing.T) {
+	p := Default()
+	// 1:2 with 128/512 bitlines: 64/(64+512) = 1/9 of capacity.
+	if r := p.FastCapacityRatio(); r < 0.110 || r > 0.112 {
+		t.Fatalf("capacity ratio %.4f, want ~1/9", r)
+	}
+}
+
+func TestOverheadMonotonicInRatio(t *testing.T) {
+	p := Default()
+	prev := 0.0
+	for _, d := range []int{32, 16, 8, 4, 2} {
+		o, err := p.OverheadForCapacityRatio(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o <= prev {
+			t.Fatalf("overhead not increasing: 1/%d -> %.4f after %.4f", d, o, prev)
+		}
+		prev = o
+	}
+}
+
+func TestOverheadMonotonicInBitline(t *testing.T) {
+	// Shorter fast bitlines cost more area at fixed subarray ratio.
+	prev := -1.0
+	for _, cells := range []int{256, 128, 64, 32} {
+		p := Default()
+		p.FastBitlineCells = cells
+		if o := p.Overhead(); prev >= 0 && o <= prev {
+			t.Fatalf("overhead not increasing as bitlines shrink (%d cells)", cells)
+		} else {
+			prev = o
+		}
+	}
+}
+
+func TestOverheadPositiveProperty(t *testing.T) {
+	check := func(fast uint8, ratioQ uint8) bool {
+		p := Default()
+		p.FastBitlineCells = int(fast%255) + 1
+		if p.FastBitlineCells > p.SlowBitlineCells {
+			p.FastBitlineCells = p.SlowBitlineCells
+		}
+		p.FastSubarraysPerSlow = float64(ratioQ%32+1) / 16
+		if p.Validate() != nil {
+			return true // skip invalid combinations
+		}
+		o := p.Overhead()
+		return o > 0 && o < 2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroFastSubarraysZeroOverhead(t *testing.T) {
+	p := Default()
+	p.FastSubarraysPerSlow = 0
+	if o := p.Overhead(); o != 0 {
+		t.Fatalf("homogeneous design has overhead %.4f", o)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := func(mutate func(*Params)) {
+		t.Helper()
+		p := Default()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Error("invalid params accepted")
+		}
+	}
+	bad(func(p *Params) { p.SlowBitlineCells = 0 })
+	bad(func(p *Params) { p.FastBitlineCells = p.SlowBitlineCells + 1 })
+	bad(func(p *Params) { p.RowBufferFraction = 0 })
+	bad(func(p *Params) { p.RowBufferFraction = 1 })
+	bad(func(p *Params) { p.FastSubarraysPerSlow = -1 })
+	bad(func(p *Params) { p.MigrationRows = -1 })
+	d := Default()
+	if _, err := d.OverheadForCapacityRatio(1); err == nil {
+		t.Error("capacity denominator 1 accepted")
+	}
+}
+
+func TestArrangementNames(t *testing.T) {
+	if Partitioning.String() != "partitioning" ||
+		Interleaving.String() != "interleaving" ||
+		ReducedInterleaving.String() != "reduced-interleaving" {
+		t.Fatal("arrangement names wrong")
+	}
+}

@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// refCache is a trivially-correct fully-synchronous model of an
+// LRU set-associative cache used as the oracle.
+type refCache struct {
+	sets      map[uint64][]uint64 // set -> blocks in LRU order (front = LRU)
+	assoc     int
+	setMask   uint64
+	blockBits uint
+}
+
+func newRefCache(sets, assoc int) *refCache {
+	return &refCache{
+		sets: make(map[uint64][]uint64), assoc: assoc,
+		setMask: uint64(sets - 1), blockBits: 6,
+	}
+}
+
+func (r *refCache) access(addr uint64) bool {
+	block := addr >> r.blockBits << r.blockBits
+	set := (block >> r.blockBits) & r.setMask
+	lst := r.sets[set]
+	for i, b := range lst {
+		if b == block {
+			// refresh to MRU
+			lst = append(append(append([]uint64{}, lst[:i]...), lst[i+1:]...), block)
+			r.sets[set] = lst
+			return true
+		}
+	}
+	if len(lst) == r.assoc {
+		lst = lst[1:]
+	}
+	r.sets[set] = append(lst, block)
+	return false
+}
+
+// TestCacheMatchesReferenceModel drives random synchronous access
+// sequences through the simulated cache and the oracle, comparing
+// hit/miss verdicts. (Accesses are fully serialized so MSHR effects do
+// not apply.)
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	check := func(seq []uint16) bool {
+		eng := sim.NewEngine()
+		be := &backend{eng: eng, delay: 5}
+		const sets, assoc = 4, 2
+		c, err := New(Config{
+			Name: "prop", SizeBytes: sets * assoc * 64, Assoc: assoc,
+			BlockSize: 64, Latency: 1, MSHRs: 8,
+		}, eng, be, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefCache(sets, assoc)
+		for _, v := range seq {
+			addr := uint64(v) << 6 // one block per value
+			hitsBefore := c.Stats.Hits
+			done := false
+			c.Access(&mem.Request{Addr: addr, Core: 0, Done: func() { done = true }})
+			eng.Run()
+			if !done {
+				return false
+			}
+			gotHit := c.Stats.Hits > hitsBefore
+			if gotHit != ref.access(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheNeverLosesRequests floods the cache with random concurrent
+// accesses and checks that every Done fires exactly once.
+func TestCacheNeverLosesRequests(t *testing.T) {
+	check := func(seq []uint16, writes []bool) bool {
+		eng := sim.NewEngine()
+		be := &backend{eng: eng, delay: 50}
+		c, err := New(Config{
+			Name: "flood", SizeBytes: 1 << 10, Assoc: 2,
+			BlockSize: 64, Latency: 2, MSHRs: 3,
+		}, eng, be, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := len(seq)
+		done := 0
+		for i, v := range seq {
+			w := i < len(writes) && writes[i]
+			c.Access(&mem.Request{Addr: uint64(v) << 4, Write: w, Core: 0, Done: func() { done++ }})
+		}
+		eng.Run()
+		return done == want && c.OutstandingMisses() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package config holds the JSON-serializable system configuration that
+// assembles a full simulation (Table 1 of the paper), plus the
+// episode-scaled variant the experiment harness uses by default.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// Config is the complete system description.
+type Config struct {
+	// Cores and pipeline (Table 1: 3 GHz, 4-wide, 192-entry ROB).
+	Cores       int     `json:"cores"`
+	CPUGHz      float64 `json:"cpu_ghz"`
+	Width       int     `json:"width"`
+	ROB         int     `json:"rob"`
+	StoreBuffer int     `json:"store_buffer"`
+
+	// Cache hierarchy. Latencies are per-level lookup latencies in CPU
+	// cycles; they accumulate along the walk, so 4/8/8 reproduces
+	// Table 1's cumulative 4/12/20.
+	L1KB       int `json:"l1_kb"`
+	L1Assoc    int `json:"l1_assoc"`
+	L1Latency  int `json:"l1_latency"`
+	L1MSHRs    int `json:"l1_mshrs"`
+	L2KB       int `json:"l2_kb"`
+	L2Assoc    int `json:"l2_assoc"`
+	L2Latency  int `json:"l2_latency"`
+	L2MSHRs    int `json:"l2_mshrs"`
+	LLCKB      int `json:"llc_kb"`
+	LLCAssoc   int `json:"llc_assoc"`
+	LLCLatency int `json:"llc_latency"`
+	LLCMSHRs   int `json:"llc_mshrs"`
+	BlockSize  int `json:"block_size"`
+
+	// Memory controller.
+	WindowSize        int     `json:"window_size"`
+	ClosedPage        bool    `json:"closed_page"`
+	WriteHigh         int     `json:"write_high"`
+	WriteLow          int     `json:"write_low"`
+	StarvationLimitNS float64 `json:"starvation_limit_ns"`
+
+	// DRAM organization.
+	Channels    int `json:"channels"`
+	Ranks       int `json:"ranks"`
+	Banks       int `json:"banks"`
+	RowsPerBank int `json:"rows_per_bank"`
+	Columns     int `json:"columns"`
+
+	// Asymmetric-subarray management (Table 1 bottom).
+	MigrationLatencyNS float64 `json:"migration_latency_ns"`
+	FastDenom          int     `json:"fast_denom"`
+	GroupSize          int     `json:"group_size"`
+	TagCacheKB         int     `json:"tag_cache_kb"`
+	TagCacheAssoc      int     `json:"tag_cache_assoc"`
+	FilterThreshold    int     `json:"filter_threshold"`
+	FilterCounters     int     `json:"filter_counters"`
+	Replacement        string  `json:"replacement"`
+
+	// Measurement protocol (Section 6).
+	InstrPerCore uint64  `json:"instr_per_core"`
+	WarmupFrac   float64 `json:"warmup_frac"`
+	Seed         uint64  `json:"seed"`
+}
+
+// Default returns the full-scale Table 1 system: 8 GB of DDR3-1600 on
+// two channels, 4 MB shared LLC, 1/8 fast level.
+func Default() Config {
+	return Config{
+		Cores: 1, CPUGHz: 3, Width: 4, ROB: 192, StoreBuffer: 32,
+		L1KB: 64, L1Assoc: 8, L1Latency: 4, L1MSHRs: 16,
+		L2KB: 256, L2Assoc: 8, L2Latency: 8, L2MSHRs: 24,
+		LLCKB: 4096, LLCAssoc: 8, LLCLatency: 8, LLCMSHRs: 48,
+		BlockSize:  64,
+		WindowSize: 32, WriteHigh: 32, WriteLow: 8, StarvationLimitNS: 1000,
+		Channels: 2, Ranks: 2, Banks: 8, RowsPerBank: 32768, Columns: 128,
+		MigrationLatencyNS: 146.25,
+		FastDenom:          8, GroupSize: 32,
+		TagCacheKB: 128, TagCacheAssoc: 8,
+		FilterThreshold: 1, FilterCounters: 1024,
+		Replacement:  "lru",
+		InstrPerCore: 10_000_000, WarmupFrac: 0.2, Seed: 42,
+	}
+}
+
+// Scaled returns the episode-scaled configuration the experiments use: a
+// 1 GB memory (1/8 of Table 1) so that 10M-instruction episodes exercise
+// the same footprint-to-fast-level pressure as the paper's
+// 100M-instruction samples. The tag cache scales with memory so the
+// Figure 9a sweep keeps its meaning (see DESIGN.md).
+func Scaled() Config {
+	c := Default()
+	c.RowsPerBank = 4096 // 1 GB total
+	c.TagCacheKB = 16    // 128 KB x (1 GB / 8 GB)
+	return c
+}
+
+// MemoryScale returns this configuration's memory capacity relative to
+// the paper's 8 GB system; workload footprints are scaled by it.
+func (c *Config) MemoryScale() float64 {
+	return float64(c.Geometry().Capacity()) / float64(8<<30)
+}
+
+// Validate checks cross-field consistency.
+func (c *Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("config: cores must be positive")
+	}
+	if c.InstrPerCore == 0 {
+		return fmt.Errorf("config: instr_per_core must be positive")
+	}
+	if c.WarmupFrac < 0 || c.WarmupFrac >= 1 {
+		return fmt.Errorf("config: warmup_frac must be in [0,1)")
+	}
+	if _, err := core.ParseReplacement(c.Replacement); err != nil {
+		return err
+	}
+	if err := c.Geometry().Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Geometry returns the DRAM organization.
+func (c *Config) Geometry() dram.Geometry {
+	return dram.Geometry{
+		Channels: c.Channels, Ranks: c.Ranks, Banks: c.Banks,
+		Rows: c.RowsPerBank, Columns: c.Columns, BlockSize: c.BlockSize,
+	}
+}
+
+// DRAMConfig returns the device configuration for a design: CHARM gets
+// the column-optimized fast set; DAS-FM gets zero migration latency.
+func (c *Config) DRAMConfig(design core.Design) dram.Config {
+	fast := timing.DDR31600Fast()
+	if design == core.CHARM {
+		fast = timing.DDR31600CHARMFast()
+	}
+	mig := sim.FromNS(c.MigrationLatencyNS)
+	if design == core.DASFM {
+		mig = 0
+	}
+	return dram.Config{
+		Geometry:         c.Geometry(),
+		Slow:             timing.DDR31600Slow(),
+		Fast:             fast,
+		MigrationLatency: mig,
+	}
+}
+
+// ManagerConfig returns the DAS management configuration for a design.
+func (c *Config) ManagerConfig(design core.Design) (core.Config, error) {
+	repl, err := core.ParseReplacement(c.Replacement)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		Design:          design,
+		FastDenom:       c.FastDenom,
+		GroupSize:       c.GroupSize,
+		TagCacheBytes:   c.TagCacheKB << 10,
+		TagCacheAssoc:   c.TagCacheAssoc,
+		FilterThreshold: c.FilterThreshold,
+		FilterCounters:  c.FilterCounters,
+		Replacement:     repl,
+		Seed:            c.Seed,
+	}, nil
+}
+
+// Load reads a JSON configuration file.
+func Load(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	c := Default()
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("config: parse %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Save writes the configuration as indented JSON.
+func (c *Config) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

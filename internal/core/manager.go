@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/mc"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Stats counts management activity over the measurement window.
+type Stats struct {
+	// Promotions counts committed row swaps (migration completions).
+	Promotions uint64
+	// PerCorePromotions attributes promotions to the triggering core.
+	PerCorePromotions []uint64
+	// SlowTriggers counts demand reads serviced from the slow level (the
+	// promotion trigger events).
+	SlowTriggers uint64
+	// TableFetches counts translation-table blocks fetched through the
+	// LLC after a tag-cache miss.
+	TableFetches uint64
+	// TableWrites counts translation-table update writes.
+	TableWrites uint64
+}
+
+// Manager is the DAS-DRAM management unit: it translates LLC-miss traffic
+// to physical row locations, steers it to the memory controller with the
+// right timing class, and schedules promotions. It also implements the
+// paper's comparison designs (see Design).
+type Manager struct {
+	cfg    Config
+	eng    *sim.Engine
+	geom   dram.Geometry
+	ctl    *mc.Controller
+	llc    mem.Component
+	layout *Layout
+
+	groups   map[uint64]*group
+	tagCache *TagCache
+	filter   *Filter
+	picker   victimPicker
+
+	static  *StaticAssignment
+	profile *RowProfile
+
+	tableBase  uint64
+	tableBytes uint64
+
+	// pendingTag maps a table block index to data requests waiting on
+	// its fetch.
+	pendingTag map[uint64][]*mem.Request
+
+	Stats Stats
+}
+
+// NewManager builds a manager for design cfg.Design in front of ctl.
+// cores sizes per-core counters. For static designs supply the
+// assignment via SetStaticAssignment before running; for translation
+// lookups the shared LLC must be attached via SetLLC.
+func NewManager(cfg Config, eng *sim.Engine, ctl *mc.Controller, cores int) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom := ctl.Device().Geometry()
+	m := &Manager{
+		cfg:  cfg,
+		eng:  eng,
+		geom: geom,
+		ctl:  ctl,
+	}
+	if cores > 0 {
+		m.Stats.PerCorePromotions = make([]uint64, cores)
+	}
+	m.tableBytes = TableReserveBytes(geom)
+	m.tableBase = geom.Capacity() - m.tableBytes
+	if cfg.Design.Dynamic() {
+		layout, err := NewLayout(geom, cfg.GroupSize, cfg.FastDenom)
+		if err != nil {
+			return nil, err
+		}
+		m.layout = layout
+		tc, err := NewTagCache(cfg.TagCacheBytes, cfg.TagCacheAssoc)
+		if err != nil {
+			return nil, err
+		}
+		m.tagCache = tc
+		f, err := NewFilter(cfg.FilterThreshold, cfg.FilterCounters)
+		if err != nil {
+			return nil, err
+		}
+		m.filter = f
+		m.groups = make(map[uint64]*group)
+		m.picker = victimPicker{policy: cfg.Replacement, rng: sim.NewRNG(cfg.Seed)}
+		m.pendingTag = make(map[uint64][]*mem.Request)
+	}
+	return m, nil
+}
+
+// SetLLC attaches the last-level cache used for translation-table
+// lookups. Must be called before any DAS-mode access (the LLC is built
+// after the manager because the manager is the LLC's lower level).
+func (m *Manager) SetLLC(llc mem.Component) { m.llc = llc }
+
+// SetStaticAssignment installs the profiled fast-row set (SAS/CHARM).
+func (m *Manager) SetStaticAssignment(a *StaticAssignment) { m.static = a }
+
+// EnableProfiling starts recording per-row demand-read counts and
+// returns the profile being filled.
+func (m *Manager) EnableProfiling() *RowProfile {
+	m.profile = NewRowProfile()
+	return m.profile
+}
+
+// TagCache exposes the translation cache (nil for non-dynamic designs).
+func (m *Manager) TagCache() *TagCache { return m.tagCache }
+
+// Filter exposes the promotion filter (nil for non-dynamic designs).
+func (m *Manager) Filter() *Filter { return m.filter }
+
+// Layout exposes the migration-group layout (nil for non-dynamic designs).
+func (m *Manager) Layout() *Layout { return m.layout }
+
+// UsableBytes returns the capacity available to workloads: total memory
+// minus the reserved translation-table region.
+func (m *Manager) UsableBytes() uint64 { return m.tableBase }
+
+// TableBase returns the first byte of the reserved table region.
+func (m *Manager) TableBase() uint64 { return m.tableBase }
+
+// ResetStats zeroes management statistics (warm-up boundary).
+func (m *Manager) ResetStats() {
+	perCore := m.Stats.PerCorePromotions
+	m.Stats = Stats{}
+	if perCore != nil {
+		for i := range perCore {
+			perCore[i] = 0
+		}
+		m.Stats.PerCorePromotions = perCore
+	}
+	if m.tagCache != nil {
+		m.tagCache.Lookups = 0
+		m.tagCache.Hits = 0
+	}
+	if m.filter != nil {
+		m.filter.Rejects = 0
+	}
+}
+
+// Access implements mem.Component for LLC-miss traffic (fills,
+// writebacks, and recursive translation-table requests).
+func (m *Manager) Access(req *mem.Request) {
+	if req.Meta || req.Addr >= m.tableBase {
+		// Translation-table region: identity-mapped, slow subarrays.
+		coord := m.geom.Decode(req.Addr)
+		m.enqueue(req, coord, dram.RowSlow, 0, false)
+		return
+	}
+	coord := m.geom.Decode(req.Addr)
+	rowID := m.geom.RowID(coord)
+	if m.profile != nil && !req.Write {
+		m.profile.Record(rowID)
+	}
+	switch m.cfg.Design {
+	case Standard:
+		m.enqueue(req, coord, dram.RowSlow, rowID, false)
+	case FS:
+		m.enqueue(req, coord, dram.RowFast, rowID, false)
+	case SAS, CHARM:
+		cls := dram.RowSlow
+		if m.static.IsFast(rowID) {
+			cls = dram.RowFast
+		}
+		m.enqueue(req, coord, cls, rowID, false)
+	default: // DAS, DASFM
+		if m.tagCache.Lookup(rowID) {
+			m.translateAndEnqueue(req, coord, rowID)
+			return
+		}
+		block := m.tableBlock(rowID)
+		if waiters, inFlight := m.pendingTag[block]; inFlight {
+			m.pendingTag[block] = append(waiters, req)
+			return
+		}
+		m.pendingTag[block] = []*mem.Request{req}
+		m.fetchTableBlock(block)
+	}
+}
+
+// tableBlock returns the table block index holding rowID's entry.
+func (m *Manager) tableBlock(rowID uint64) uint64 { return rowID >> 6 }
+
+// tableBlockAddr returns the physical address of a table block.
+func (m *Manager) tableBlockAddr(block uint64) uint64 { return m.tableBase + block<<6 }
+
+// fetchTableBlock reads a translation-table block through the LLC; on a
+// further miss the LLC fills it from DRAM via this manager (Meta path).
+func (m *Manager) fetchTableBlock(block uint64) {
+	if m.llc == nil {
+		panic("core: manager used in DAS mode without SetLLC")
+	}
+	m.Stats.TableFetches++
+	m.llc.Access(&mem.Request{
+		Addr:   m.tableBlockAddr(block),
+		Meta:   true,
+		Core:   -1,
+		Issued: m.eng.Now(),
+		Done:   func() { m.tableBlockArrived(block) },
+	})
+}
+
+// tableBlockArrived installs the fetched rows' entries and releases
+// waiters.
+func (m *Manager) tableBlockArrived(block uint64) {
+	waiters := m.pendingTag[block]
+	delete(m.pendingTag, block)
+	for _, req := range waiters {
+		coord := m.geom.Decode(req.Addr)
+		rowID := m.geom.RowID(coord)
+		m.tagCache.Insert(rowID)
+		m.translateAndEnqueue(req, coord, rowID)
+	}
+}
+
+// group returns (allocating on demand) the translation state of g.
+func (m *Manager) group(g uint64) *group {
+	grp, ok := m.groups[g]
+	if !ok {
+		grp = newGroup(m.layout.GroupSize(), m.layout.FastSlots())
+		m.groups[g] = grp
+	}
+	return grp
+}
+
+// translateAndEnqueue applies the group permutation and issues the
+// physical access.
+func (m *Manager) translateAndEnqueue(req *mem.Request, coord dram.Coord, rowID uint64) {
+	g, slot := m.layout.GroupOf(rowID)
+	grp := m.group(g)
+	phys := int(grp.perm[slot])
+	localGroupBase := coord.Row / m.layout.GroupSize() * m.layout.GroupSize()
+	coord.Row = localGroupBase + phys
+	cls := dram.RowSlow
+	if m.layout.SlotIsFast(phys) {
+		cls = dram.RowFast
+		grp.lastUse[phys] = m.eng.Now()
+	}
+	m.enqueue(req, coord, cls, rowID, cls == dram.RowSlow && !req.Write)
+}
+
+// enqueue forwards to the memory controller, wiring completion and the
+// promotion trigger.
+func (m *Manager) enqueue(req *mem.Request, coord dram.Coord, cls dram.RowClass, rowID uint64, trigger bool) {
+	dreq := &mc.Request{
+		Coord: coord,
+		Class: cls,
+		Write: req.Write,
+		Meta:  req.Meta || req.Addr >= m.tableBase,
+		Core:  req.Core,
+	}
+	core := req.Core
+	done := req.Done
+	dreq.Done = func(kind mc.ServiceKind) {
+		if done != nil {
+			done()
+		}
+		if trigger {
+			m.Stats.SlowTriggers++
+			m.considerPromotion(rowID, core)
+		}
+	}
+	// Posted writes complete at enqueue inside the controller.
+	m.ctl.Enqueue(dreq)
+}
+
+// considerPromotion runs the Section 5.3 trigger: filter the row, pick a
+// victim, and schedule the swap.
+func (m *Manager) considerPromotion(rowID uint64, coreID int) {
+	g, slot := m.layout.GroupOf(rowID)
+	grp := m.group(g)
+	if grp.migrating {
+		return
+	}
+	phys := int(grp.perm[slot])
+	if m.layout.SlotIsFast(phys) {
+		return // promoted by an earlier in-flight trigger
+	}
+	if !m.filter.Allow(rowID) {
+		return
+	}
+	victimPhys := m.picker.pick(grp, m.layout.FastSlots())
+	victimLogical := int(grp.inv[victimPhys])
+	grp.migrating = true
+	commit := func() {
+		grp.swap(slot, victimLogical)
+		grp.lastUse[victimPhys] = m.eng.Now()
+		grp.migrating = false
+		m.Stats.Promotions++
+		if coreID >= 0 && coreID < len(m.Stats.PerCorePromotions) {
+			m.Stats.PerCorePromotions[coreID]++
+		}
+		victimRow := m.layout.RowOf(g, victimLogical)
+		// The swap just computed both rows' new entries: keep them hot in
+		// the tag cache (the promoted row is about to be re-accessed).
+		m.tagCache.Insert(rowID)
+		m.tagCache.Insert(victimRow)
+		m.writeTableEntries(rowID, victimRow)
+	}
+	if m.cfg.Design == DASFM || m.ctl.Device().MigrationLatency() == 0 {
+		commit()
+		return
+	}
+	// The swap starts from the promotee's current physical row (likely
+	// still open in the row buffer from the triggering access).
+	physRow := m.layout.RowOf(g, phys)
+	coord := m.geom.RowCoord(physRow)
+	m.ctl.Migrate(coord.Channel, coord.Rank, coord.Bank, coord.Row, commit)
+}
+
+// writeTableEntries posts updates of the two swapped rows' table entries
+// through the LLC (keeping LLC copies coherent with the in-DRAM table).
+func (m *Manager) writeTableEntries(rowA, rowB uint64) {
+	blockA := m.tableBlock(rowA)
+	blockB := m.tableBlock(rowB)
+	m.postTableWrite(blockA)
+	if blockB != blockA {
+		m.postTableWrite(blockB)
+	}
+}
+
+// postTableWrite issues one posted table-block write.
+func (m *Manager) postTableWrite(block uint64) {
+	m.Stats.TableWrites++
+	m.llc.Access(&mem.Request{
+		Addr:   m.tableBlockAddr(block),
+		Write:  true,
+		Meta:   true,
+		Core:   -1,
+		Issued: m.eng.Now(),
+	})
+}
+
+// PhysicalRow reports the current physical slot class of a logical row
+// (diagnostics and tests).
+func (m *Manager) PhysicalRow(rowID uint64) (physRow uint64, fast bool, err error) {
+	if !m.cfg.Design.Dynamic() {
+		return 0, false, fmt.Errorf("core: PhysicalRow requires a dynamic design")
+	}
+	g, slot := m.layout.GroupOf(rowID)
+	grp := m.group(g)
+	phys := int(grp.perm[slot])
+	return m.layout.RowOf(g, phys), m.layout.SlotIsFast(phys), nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import "testing"
+
+func TestFilterThresholdOnePromotesAlways(t *testing.T) {
+	f, err := NewFilter(1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := uint64(0); row < 100; row++ {
+		if !f.Allow(row) {
+			t.Fatal("threshold 1 rejected a promotion")
+		}
+	}
+	if f.Rejects != 0 {
+		t.Fatal("threshold 1 counted rejects")
+	}
+}
+
+func TestFilterThresholdCounts(t *testing.T) {
+	f, _ := NewFilter(4, 1024)
+	for i := 0; i < 3; i++ {
+		if f.Allow(7) {
+			t.Fatalf("promoted after %d hits with threshold 4", i+1)
+		}
+	}
+	if !f.Allow(7) {
+		t.Fatal("not promoted at threshold")
+	}
+	// Counter resets after promotion.
+	if f.Allow(7) {
+		t.Fatal("promoted immediately after reset")
+	}
+	if f.Rejects != 4 {
+		t.Fatalf("rejects = %d, want 4", f.Rejects)
+	}
+}
+
+func TestFilterCapacityRecycling(t *testing.T) {
+	f, _ := NewFilter(2, 4)
+	// Fill the four counters with one hit each.
+	for row := uint64(0); row < 4; row++ {
+		f.Allow(row)
+	}
+	// A fifth row evicts the oldest counter (row 0).
+	f.Allow(100)
+	// Row 0 lost its count: one more hit should NOT promote...
+	if f.Allow(0) {
+		t.Fatal("evicted row kept its count")
+	}
+	// ...but a second consecutive hit does.
+	if !f.Allow(0) {
+		t.Fatal("tracked row failed to promote at threshold 2")
+	}
+}
+
+func TestFilterTrackedRowsSurviveChurn(t *testing.T) {
+	f, _ := NewFilter(2, 8)
+	f.Allow(1) // 1 hit on row 1
+	// Untracked churn smaller than capacity must not evict row 1.
+	for row := uint64(10); row < 16; row++ {
+		f.Allow(row)
+	}
+	if !f.Allow(1) {
+		t.Fatal("row 1 evicted despite capacity headroom")
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	if _, err := NewFilter(0, 10); err == nil {
+		t.Fatal("threshold 0 accepted")
+	}
+	if _, err := NewFilter(2, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestFilterBoundedState(t *testing.T) {
+	f, _ := NewFilter(8, 16)
+	for row := uint64(0); row < 10000; row++ {
+		f.Allow(row)
+	}
+	if len(f.counts) > 16 || len(f.order) > 16 {
+		t.Fatalf("filter state grew beyond capacity: %d counts, %d order",
+			len(f.counts), len(f.order))
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dram"
+)
+
+// RowProfile records per-row demand access counts, collected during a
+// baseline (Standard) run. The static designs (SAS-DRAM, CHARM) consume
+// it to pre-assign the hottest rows to the fast level, mirroring the
+// paper's offline profiling of each workload.
+type RowProfile struct {
+	counts map[uint64]uint64 // global row id -> demand accesses
+}
+
+// NewRowProfile returns an empty profile.
+func NewRowProfile() *RowProfile {
+	return &RowProfile{counts: make(map[uint64]uint64)}
+}
+
+// Record adds one access to a global row id.
+func (p *RowProfile) Record(rowID uint64) { p.counts[rowID]++ }
+
+// Rows returns the number of distinct rows touched.
+func (p *RowProfile) Rows() int { return len(p.counts) }
+
+// Count returns the recorded accesses of a row.
+func (p *RowProfile) Count(rowID uint64) uint64 { return p.counts[rowID] }
+
+// StaticAssignment marks which rows a static design pre-assigned to the
+// fast level.
+type StaticAssignment struct {
+	fast map[uint64]struct{}
+}
+
+// IsFast reports whether a global row id was assigned to the fast level.
+func (a *StaticAssignment) IsFast(rowID uint64) bool {
+	if a == nil {
+		return false
+	}
+	_, ok := a.fast[rowID]
+	return ok
+}
+
+// FastRows returns the number of assigned rows.
+func (a *StaticAssignment) FastRows() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.fast)
+}
+
+// BuildStaticAssignment selects, within every bank, the hottest
+// rows-per-bank/fastDenom rows of the profile. The per-bank constraint
+// reflects that fast subarrays are distributed across banks: a bank's
+// fast capacity cannot host another bank's rows.
+func BuildStaticAssignment(p *RowProfile, geom dram.Geometry, fastDenom int) *StaticAssignment {
+	perBankQuota := geom.Rows / fastDenom
+	type rowCount struct {
+		row   uint64
+		count uint64
+	}
+	byBank := make(map[int][]rowCount)
+	for row, count := range p.counts {
+		bank := int(row / uint64(geom.Rows))
+		byBank[bank] = append(byBank[bank], rowCount{row, count})
+	}
+	a := &StaticAssignment{fast: make(map[uint64]struct{})}
+	for _, rows := range byBank {
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].count != rows[j].count {
+				return rows[i].count > rows[j].count
+			}
+			return rows[i].row < rows[j].row // deterministic tie-break
+		})
+		n := perBankQuota
+		if n > len(rows) {
+			n = len(rows)
+		}
+		for _, rc := range rows[:n] {
+			a.fast[rc.row] = struct{}{}
+		}
+	}
+	return a
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+)
+
+// tagEntryBytes is the modeled SRAM cost of one cached translation
+// entry: the one-byte in-group mapping (Section 5.2's migration-group
+// entries) plus roughly one byte of amortized tag/valid overhead.
+const tagEntryBytes = 2
+
+// TagCache is the on-controller translation cache of Section 5.2: a
+// small set-associative SRAM holding per-row translation entries,
+// primarily those of fast-level rows (entries are inserted on lookup
+// fetches and refreshed on every promotion commit). A hit costs no extra
+// latency because the lookup proceeds in parallel with the (already
+// failed) LLC data lookup; a miss fetches the entry's table block
+// through the LLC and, if absent there, from DRAM.
+type TagCache struct {
+	sets    [][]tagLine
+	setMask uint64
+	tick    uint64
+
+	Lookups uint64
+	Hits    uint64
+}
+
+type tagLine struct {
+	row   uint64 // global logical row id
+	valid bool
+	lru   uint64
+}
+
+// NewTagCache builds a cache of capacityBytes with the given
+// associativity over per-row entries.
+func NewTagCache(capacityBytes, assoc int) (*TagCache, error) {
+	if capacityBytes <= 0 || assoc <= 0 {
+		return nil, fmt.Errorf("core: tag cache capacity and associativity must be positive")
+	}
+	entries := capacityBytes / tagEntryBytes
+	if entries < assoc {
+		assoc = entries
+	}
+	if entries == 0 || entries%assoc != 0 {
+		return nil, fmt.Errorf("core: tag cache of %d B cannot form %d-way sets", capacityBytes, assoc)
+	}
+	nsets := entries / assoc
+	// Round the set count down to a power of two so the index is a mask
+	// (hardware does the same; a little capacity is lost to rounding).
+	for nsets&(nsets-1) != 0 {
+		nsets &= nsets - 1
+	}
+	tc := &TagCache{sets: make([][]tagLine, nsets), setMask: uint64(nsets - 1)}
+	for i := range tc.sets {
+		tc.sets[i] = make([]tagLine, assoc)
+	}
+	return tc, nil
+}
+
+// Entries returns the modeled entry capacity.
+func (tc *TagCache) Entries() int { return len(tc.sets) * len(tc.sets[0]) }
+
+// Lookup probes for row's entry and reports a hit, refreshing recency.
+func (tc *TagCache) Lookup(row uint64) bool {
+	tc.Lookups++
+	set := tc.sets[tc.index(row)]
+	for i := range set {
+		if set[i].valid && set[i].row == row {
+			tc.tick++
+			set[i].lru = tc.tick
+			tc.Hits++
+			return true
+		}
+	}
+	return false
+}
+
+// index spreads row ids across sets (rows are scattered, so low bits
+// suffice after mixing).
+func (tc *TagCache) index(row uint64) uint64 {
+	row ^= row >> 17
+	row *= 0x9E3779B97F4A7C15
+	return (row >> 16) & tc.setMask
+}
+
+// Insert installs row's entry, evicting the LRU way. (Evicted entries
+// need no writeback: the in-DRAM table is updated in place on every
+// migration commit.)
+func (tc *TagCache) Insert(row uint64) {
+	set := tc.sets[tc.index(row)]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].row == row {
+			victim = i
+			break
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	tc.tick++
+	set[victim] = tagLine{row: row, valid: true, lru: tc.tick}
+}
+
+// HitRatio reports the lookup hit ratio.
+func (tc *TagCache) HitRatio() float64 {
+	if tc.Lookups == 0 {
+		return 0
+	}
+	return float64(tc.Hits) / float64(tc.Lookups)
+}

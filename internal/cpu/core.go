@@ -1,0 +1,294 @@
+// Package cpu implements the ROB-occupancy out-of-order core model used
+// in place of the paper's Marss86 full-system CPUs.
+//
+// The model captures what matters for memory-latency studies: a finite
+// reorder buffer bounds memory-level parallelism, independent loads issue
+// as soon as they are dispatched, dependent (pointer-chase) loads
+// serialize behind older loads, stores retire through a finite store
+// buffer, and the core stalls only when the ROB fills behind an
+// outstanding load at its head.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a core (Table 1: 3 GHz, 4-wide, 192-entry ROB).
+type Config struct {
+	ClockHz     float64
+	Width       int
+	ROB         int
+	StoreBuffer int
+}
+
+// DefaultConfig returns the Table 1 core.
+func DefaultConfig() Config {
+	return Config{ClockHz: 3e9, Width: 4, ROB: 192, StoreBuffer: 32}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("cpu: clock must be positive")
+	}
+	if c.Width <= 0 || c.ROB <= 0 || c.StoreBuffer <= 0 {
+		return fmt.Errorf("cpu: width, ROB and store buffer must be positive")
+	}
+	if c.ROB < c.Width {
+		return fmt.Errorf("cpu: ROB (%d) smaller than width (%d)", c.ROB, c.Width)
+	}
+	return nil
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	done      bool
+	load      bool
+	dependent bool
+	issued    bool
+	addr      uint64
+}
+
+// Stats are per-core measurement-window counters.
+type Stats struct {
+	Retired   uint64
+	MemOps    uint64
+	Loads     uint64
+	Stores    uint64
+	StartTime sim.Time // measurement window start
+	EndTime   sim.Time // when the quota was reached
+	Pages     map[uint64]struct{}
+}
+
+// Core is one simulated CPU.
+type Core struct {
+	id    int
+	cfg   Config
+	eng   *sim.Engine
+	clock sim.Clock
+	gen   workload.Generator
+	l1    mem.Component
+
+	rob   []robEntry
+	head  int
+	count int
+
+	outstandingLoads int
+	depQueue         []int // ROB indexes of unissued dependent loads
+	sbInFlight       int
+	pending          workload.Instr // stalled instruction awaiting dispatch
+	pendingValid     bool
+
+	retiredTotal uint64
+	warmupAt     uint64 // retired count at which measurement starts
+	quota        uint64 // retired count at which measurement stops
+	measuring    bool
+	finished     bool
+	onWarmup     func(coreID int)
+	onQuota      func(coreID int)
+
+	ticker *sim.Ticker
+
+	Stats Stats
+}
+
+// New builds a core fetching from gen and accessing l1.
+func New(id int, cfg Config, eng *sim.Engine, gen workload.Generator, l1 mem.Component) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		id:    id,
+		cfg:   cfg,
+		eng:   eng,
+		clock: sim.NewClockHz(cfg.ClockHz),
+		gen:   gen,
+		l1:    l1,
+		rob:   make([]robEntry, cfg.ROB),
+	}
+	c.Stats.Pages = make(map[uint64]struct{})
+	c.ticker = sim.NewTicker(eng, c.clock, c.tick)
+	return c, nil
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// Clock returns the core clock.
+func (c *Core) Clock() sim.Clock { return c.clock }
+
+// Start begins execution. warmup retired instructions are excluded from
+// statistics (onWarmup fires when the boundary is crossed); once quota
+// instructions retire, onQuota fires and the core keeps running
+// (generating interference) without accumulating stats. Both callbacks
+// may be nil.
+func (c *Core) Start(warmup, quota uint64, onWarmup, onQuota func(coreID int)) {
+	if quota <= warmup {
+		panic("cpu: quota must exceed warmup")
+	}
+	c.warmupAt = warmup
+	c.quota = quota
+	c.onWarmup = onWarmup
+	c.onQuota = onQuota
+	c.measuring = warmup == 0
+	if c.measuring {
+		c.Stats.StartTime = c.eng.Now()
+		if c.onWarmup != nil {
+			c.onWarmup(c.id)
+		}
+	}
+	c.ticker.Start()
+}
+
+// Finished reports whether the core has reached its quota.
+func (c *Core) Finished() bool { return c.finished }
+
+// RetiredTotal reports lifetime retired instructions (including warm-up).
+func (c *Core) RetiredTotal() uint64 { return c.retiredTotal }
+
+// IPC returns instructions per cycle over the measurement window; zero if
+// the window has not closed.
+func (c *Core) IPC() float64 {
+	if !c.finished || c.Stats.EndTime <= c.Stats.StartTime {
+		return 0
+	}
+	cycles := float64(c.Stats.EndTime-c.Stats.StartTime) / float64(c.clock.Period())
+	return float64(c.Stats.Retired) / cycles
+}
+
+// wake restarts the ticker after a completion event.
+func (c *Core) wake() { c.ticker.Start() }
+
+// tick advances one core cycle: issue dependent loads, retire, dispatch.
+func (c *Core) tick() {
+	progress := false
+
+	// A dependent load issues only when no older load is outstanding.
+	if len(c.depQueue) > 0 && c.outstandingLoads == 0 {
+		idx := c.depQueue[0]
+		c.depQueue = c.depQueue[1:]
+		c.issueLoad(idx)
+		progress = true
+	}
+
+	// Retire up to Width completed instructions from the ROB head.
+	for r := 0; r < c.cfg.Width && c.count > 0 && c.rob[c.head].done; r++ {
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.retire()
+		progress = true
+	}
+
+	// Dispatch up to Width new instructions into the ROB.
+	var in workload.Instr
+	for d := 0; d < c.cfg.Width && c.count < len(c.rob); d++ {
+		if c.pendingValid {
+			in = c.pending
+		} else {
+			c.gen.Next(&in)
+		}
+		if in.Mem && in.Write && c.sbInFlight >= c.cfg.StoreBuffer {
+			// Store buffer full: hold the instruction and stall dispatch
+			// (dropping it would silently mutate the workload stream).
+			c.pending = in
+			c.pendingValid = true
+			break
+		}
+		c.pendingValid = false
+		idx := (c.head + c.count) % len(c.rob)
+		c.count++
+		e := &c.rob[idx]
+		*e = robEntry{}
+		progress = true
+		if !in.Mem {
+			e.done = true
+			continue
+		}
+		if c.measuring {
+			c.Stats.MemOps++
+			c.Stats.Pages[in.Addr>>12] = struct{}{}
+		}
+		if in.Write {
+			if c.measuring {
+				c.Stats.Stores++
+			}
+			// Stores retire immediately through the store buffer and
+			// drain to the cache asynchronously.
+			e.done = true
+			c.sbInFlight++
+			c.l1.Access(&mem.Request{
+				Addr: in.Addr, Write: true, Core: c.id, Issued: c.eng.Now(),
+				Done: c.storeDrained,
+			})
+			continue
+		}
+		if c.measuring {
+			c.Stats.Loads++
+		}
+		e.load = true
+		e.addr = in.Addr
+		if in.Dependent && c.outstandingLoads > 0 {
+			e.dependent = true
+			c.depQueue = append(c.depQueue, idx)
+		} else {
+			c.issueLoad(idx)
+		}
+	}
+
+	// Sleep while fully blocked on memory; completions call wake.
+	if !progress && (c.outstandingLoads > 0 || c.sbInFlight >= c.cfg.StoreBuffer) {
+		c.ticker.Stop()
+	}
+}
+
+// issueLoad sends the load at ROB index idx into the hierarchy.
+func (c *Core) issueLoad(idx int) {
+	c.rob[idx].issued = true
+	c.outstandingLoads++
+	addr := c.rob[idx].addr
+	c.l1.Access(&mem.Request{
+		Addr: addr, Core: c.id, Issued: c.eng.Now(),
+		Done: func() { c.loadReturned(idx) },
+	})
+}
+
+// loadReturned marks the load complete and wakes the core.
+func (c *Core) loadReturned(idx int) {
+	c.rob[idx].done = true
+	c.outstandingLoads--
+	c.wake()
+}
+
+// storeDrained frees a store-buffer slot.
+func (c *Core) storeDrained() {
+	c.sbInFlight--
+	c.wake()
+}
+
+// retire accounts one retired instruction and drives the measurement
+// window boundaries.
+func (c *Core) retire() {
+	c.retiredTotal++
+	if c.measuring {
+		c.Stats.Retired++
+	}
+	if !c.measuring && !c.finished && c.retiredTotal == c.warmupAt {
+		c.measuring = true
+		c.Stats.StartTime = c.eng.Now()
+		if c.onWarmup != nil {
+			c.onWarmup(c.id)
+		}
+	}
+	if c.measuring && !c.finished && c.retiredTotal == c.quota {
+		c.finished = true
+		c.measuring = false
+		c.Stats.EndTime = c.eng.Now()
+		if c.onQuota != nil {
+			c.onQuota(c.id)
+		}
+	}
+}

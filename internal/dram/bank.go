@@ -1,0 +1,189 @@
+package dram
+
+import (
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// bankState is the row-buffer state of one bank.
+type bankState uint8
+
+const (
+	bankIdle   bankState = iota // all rows precharged
+	bankActive                  // a row is open in the row buffer
+)
+
+// Bank models one DRAM bank's row buffer and timing constraints. All
+// "next*" fields are earliest-allowed absolute issue times.
+type Bank struct {
+	state   bankState
+	openRow int
+	openCls RowClass
+	rowPar  *timing.Params // param set of the open (or last opened) row
+
+	nextActivate  sim.Time // same-bank ACT->ACT (tRC) and PRE->ACT (tRP)
+	nextRead      sim.Time // tRCD after ACT, tCCD after column commands
+	nextWrite     sim.Time
+	nextPrecharge sim.Time // tRAS after ACT, tRTP/tWR after columns
+	busyUntil     sim.Time // migration/refresh occupancy window
+	migOpen       bool     // active-start migration: open row serves hits
+
+	// Statistics.
+	Activates     uint64
+	ActivatesFast uint64
+	Reads         uint64
+	Writes        uint64
+	Precharges    uint64
+	Migrations    uint64
+}
+
+// State helpers.
+
+// HasOpenRow reports whether a row is open.
+func (b *Bank) HasOpenRow() bool { return b.state == bankActive }
+
+// OpenRow returns the open row index; only meaningful when HasOpenRow.
+func (b *Bank) OpenRow() int { return b.openRow }
+
+// OpenClass returns the class of the open row.
+func (b *Bank) OpenClass() RowClass { return b.openCls }
+
+// Busy reports whether the bank is occupied by a migration at time t.
+func (b *Bank) Busy(t sim.Time) bool { return t < b.busyUntil }
+
+// lazyExpire closes the row of an active-start migration once the swap
+// has completed (the restore leaves the bank precharged). Banks are
+// passive, so the transition happens lazily on the next query.
+func (b *Bank) lazyExpire(t sim.Time) {
+	if b.migOpen && t >= b.busyUntil {
+		b.migOpen = false
+		b.state = bankIdle
+	}
+}
+
+// canActivate checks bank-local constraints for an ACT at time t.
+func (b *Bank) canActivate(t sim.Time) bool {
+	b.lazyExpire(t)
+	return b.state == bankIdle && t >= b.nextActivate && t >= b.busyUntil
+}
+
+// activate applies an ACT of row/cls with parameter set p at time t.
+func (b *Bank) activate(t sim.Time, row int, cls RowClass, p *timing.Params) {
+	b.state = bankActive
+	b.openRow = row
+	b.openCls = cls
+	b.rowPar = p
+	b.nextRead = t + p.Duration(p.TRCD)
+	b.nextWrite = t + p.Duration(p.TRCD)
+	b.nextPrecharge = t + p.Duration(p.TRAS)
+	b.nextActivate = t + p.Duration(p.TRC)
+	b.Activates++
+	if cls == RowFast {
+		b.ActivatesFast++
+	}
+}
+
+// canRead checks bank-local constraints for a RD at time t. Reads need
+// no busy-window check: a migrating bank is only readable while its
+// source row sits in the row buffer (migOpen), which is exactly the case
+// the paper's migration circuit keeps servable.
+func (b *Bank) canRead(t sim.Time) bool {
+	b.lazyExpire(t)
+	return b.state == bankActive && t >= b.nextRead
+}
+
+// read applies a RD at time t and returns the time the data burst ends.
+func (b *Bank) read(t sim.Time) sim.Time {
+	p := b.rowPar
+	if pre := t + p.Duration(p.TRTP); pre > b.nextPrecharge {
+		b.nextPrecharge = pre
+	}
+	if col := t + p.Duration(p.TCCD); col > b.nextRead {
+		b.nextRead = col
+	}
+	if col := t + p.Duration(p.TCCD); col > b.nextWrite {
+		b.nextWrite = col
+	}
+	b.Reads++
+	return t + p.Duration(p.ReadLatency())
+}
+
+// canWrite checks bank-local constraints for a WR at time t. Writes to a
+// migrating row buffer are NOT allowed: the restore is in flight and a
+// column write would be lost.
+func (b *Bank) canWrite(t sim.Time) bool {
+	b.lazyExpire(t)
+	return b.state == bankActive && t >= b.nextWrite && !b.migOpen
+}
+
+// write applies a WR at time t and returns the time the data burst ends.
+func (b *Bank) write(t sim.Time) sim.Time {
+	p := b.rowPar
+	burstEnd := t + p.Duration(p.WriteLatency())
+	if pre := burstEnd + p.Duration(p.TWR); pre > b.nextPrecharge {
+		b.nextPrecharge = pre
+	}
+	if col := t + p.Duration(p.TCCD); col > b.nextRead {
+		b.nextRead = col
+	}
+	if col := t + p.Duration(p.TCCD); col > b.nextWrite {
+		b.nextWrite = col
+	}
+	b.Writes++
+	return burstEnd
+}
+
+// canPrecharge checks bank-local constraints for a PRE at time t.
+func (b *Bank) canPrecharge(t sim.Time) bool {
+	b.lazyExpire(t)
+	return b.state == bankActive && t >= b.nextPrecharge && t >= b.busyUntil
+}
+
+// precharge applies a PRE at time t.
+func (b *Bank) precharge(t sim.Time) {
+	p := b.rowPar
+	b.state = bankIdle
+	if act := t + p.Duration(p.TRP); act > b.nextActivate {
+		b.nextActivate = act
+	}
+	b.Precharges++
+}
+
+// canMigrate checks whether a swap of srcRow can start at time t: either
+// the bank is precharged (the migration performs its own activations) or
+// srcRow itself is open with its restore complete (the swap continues
+// straight out of the row buffer).
+func (b *Bank) canMigrate(t sim.Time, srcRow int) bool {
+	b.lazyExpire(t)
+	if t < b.busyUntil {
+		return false
+	}
+	if b.state == bankIdle {
+		return t >= b.nextActivate
+	}
+	return b.openRow == srcRow && t >= b.nextPrecharge
+}
+
+// migrate occupies the bank for d starting at t. If the source row is
+// open (active start), it keeps serving reads until the swap completes;
+// either way the bank ends precharged at t+d.
+func (b *Bank) migrate(t sim.Time, d sim.Time) {
+	b.busyUntil = t + d
+	if b.busyUntil > b.nextActivate {
+		b.nextActivate = b.busyUntil
+	}
+	if b.state == bankActive {
+		b.migOpen = true
+	}
+	b.Migrations++
+}
+
+// blockUntil forbids any command before t (used by refresh).
+func (b *Bank) blockUntil(t sim.Time) {
+	if t > b.nextActivate {
+		b.nextActivate = t
+	}
+	if t > b.busyUntil {
+		b.busyUntil = t
+	}
+}

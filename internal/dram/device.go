@@ -1,0 +1,140 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// Config assembles a DRAM device model.
+type Config struct {
+	Geometry Geometry
+	// Slow is the timing set for commodity rows (always required).
+	Slow timing.Params
+	// Fast is the timing set for fast-subarray rows. For a homogeneous
+	// device pass the same set as Slow.
+	Fast timing.Params
+	// MigrationLatency is the bank-occupancy time of one DAS-DRAM row
+	// swap. Zero disables/ideal-izes migration cost (DAS-DRAM FM).
+	MigrationLatency sim.Time
+}
+
+// DefaultConfig returns the Table 1 asymmetric configuration:
+// DDR3-1600 slow/fast sets and 146.25 ns migration latency (3 tRC_fast
+// equivalents: two 1.5 tRC migrations of a full swap's critical path).
+func DefaultConfig() Config {
+	return Config{
+		Geometry:         Default8GB(),
+		Slow:             timing.DDR31600Slow(),
+		Fast:             timing.DDR31600Fast(),
+		MigrationLatency: sim.FromNS(146.25),
+	}
+}
+
+// Device is the top-level DRAM model: a set of independent channels
+// sharing nothing but the configuration.
+type Device struct {
+	geom             Geometry
+	slow, fast       timing.Params
+	migrationLatency sim.Time
+	channels         []*Channel
+}
+
+// New validates cfg and builds the device.
+func New(cfg Config) (*Device, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Slow.Validate(); err != nil {
+		return nil, fmt.Errorf("slow params: %w", err)
+	}
+	if err := cfg.Fast.Validate(); err != nil {
+		return nil, fmt.Errorf("fast params: %w", err)
+	}
+	if cfg.Slow.TCK != cfg.Fast.TCK {
+		return nil, fmt.Errorf("dram: slow and fast sets must share a clock (%d vs %d)",
+			cfg.Slow.TCK, cfg.Fast.TCK)
+	}
+	if cfg.MigrationLatency < 0 {
+		return nil, fmt.Errorf("dram: negative migration latency %d", cfg.MigrationLatency)
+	}
+	d := &Device{
+		geom:             cfg.Geometry,
+		slow:             cfg.Slow,
+		fast:             cfg.Fast,
+		migrationLatency: cfg.MigrationLatency,
+	}
+	for i := 0; i < cfg.Geometry.Channels; i++ {
+		d.channels = append(d.channels, newChannel(d, cfg.Geometry.Ranks, cfg.Geometry.Banks))
+	}
+	// Stagger initial refresh due times across ranks so all ranks do not
+	// refresh in lock-step (as real controllers do).
+	p := &d.slow
+	for ci, ch := range d.channels {
+		for ri, r := range ch.ranks {
+			frac := sim.Time(ci*cfg.Geometry.Ranks+ri) * p.Duration(p.TREFI) / sim.Time(cfg.Geometry.Channels*cfg.Geometry.Ranks)
+			r.nextRefreshDue = p.Duration(p.TREFI) + frac
+		}
+	}
+	return d, nil
+}
+
+// Geometry returns the device organization.
+func (d *Device) Geometry() Geometry { return d.geom }
+
+// Channel returns channel i.
+func (d *Device) Channel(i int) *Channel { return d.channels[i] }
+
+// Channels returns the number of channels.
+func (d *Device) Channels() int { return len(d.channels) }
+
+// SlowParams returns the commodity timing set.
+func (d *Device) SlowParams() *timing.Params { return &d.slow }
+
+// FastParams returns the fast-subarray timing set.
+func (d *Device) FastParams() *timing.Params { return &d.fast }
+
+// MigrationLatency returns the configured per-swap bank occupancy.
+func (d *Device) MigrationLatency() sim.Time { return d.migrationLatency }
+
+// ClockPeriod returns the DRAM command-clock period.
+func (d *Device) ClockPeriod() sim.Time { return d.slow.TCK }
+
+// Stats aggregates command counts across the whole device.
+type Stats struct {
+	Activates, ActivatesFast, Reads, Writes, Precharges, Refreshes, Migrations uint64
+}
+
+// ResetStats zeroes all command counters (warm-up boundary); timing state
+// is untouched.
+func (d *Device) ResetStats() {
+	for _, ch := range d.channels {
+		for _, r := range ch.ranks {
+			r.Refreshes = 0
+			for _, b := range r.banks {
+				b.Activates, b.ActivatesFast, b.Reads, b.Writes = 0, 0, 0, 0
+				b.Precharges, b.Migrations = 0, 0
+			}
+		}
+	}
+}
+
+// CollectStats sums per-bank and per-rank counters.
+func (d *Device) CollectStats() Stats {
+	var s Stats
+	for _, ch := range d.channels {
+		for _, r := range ch.ranks {
+			s.Refreshes += r.Refreshes
+			for _, b := range r.banks {
+				s.Activates += b.Activates
+				s.ActivatesFast += b.ActivatesFast
+				s.Reads += b.Reads
+				s.Writes += b.Writes
+				s.Precharges += b.Precharges
+				s.Migrations += b.Migrations
+			}
+		}
+	}
+	return s
+}

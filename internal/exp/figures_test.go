@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// figSession returns a session restricted to two benchmarks and one mix
+// at tiny scale so figure drivers run in test time.
+func figSession() *Session {
+	cfg := tinyConfig()
+	cfg.InstrPerCore = 80_000
+	s := NewSession(cfg)
+	s.Benchmarks = []string{"libquantum", "soplex"}
+	s.Mixes = []string{"M5"}
+	return s
+}
+
+func TestFig7aDriver(t *testing.T) {
+	s := figSession()
+	fig, err := s.Fig7a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fig.Render()
+	for _, want := range []string{"libquantum", "soplex", "gmean", "DAS-DRAM", "FS-DRAM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig7a missing %q:\n%s", want, out)
+		}
+	}
+	// 2 workloads + gmean rows.
+	if got := len(fig.Tables[0].Rows); got != 3 {
+		t.Fatalf("Fig7a has %d rows", got)
+	}
+}
+
+func TestFig7bcDriversShareRuns(t *testing.T) {
+	s := figSession()
+	if _, err := s.Fig7a(); err != nil {
+		t.Fatal(err)
+	}
+	before := len(s.results)
+	if _, err := s.Fig7b(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fig7c(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.results) != before {
+		t.Fatalf("7b/7c ran %d extra simulations; they must reuse 7a's", len(s.results)-before)
+	}
+}
+
+func TestFig7dDriver(t *testing.T) {
+	s := figSession()
+	s.Cfg.InstrPerCore = 50_000
+	fig, err := s.Fig7d()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig.Render(), "M5") {
+		t.Fatal("Fig7d missing mix row")
+	}
+}
+
+func TestFig8Driver(t *testing.T) {
+	s := figSession()
+	s.Benchmarks = []string{"soplex"}
+	fig, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Tables) != 3 {
+		t.Fatalf("Fig8 must have three panels, got %d", len(fig.Tables))
+	}
+	out := fig.Render()
+	for _, want := range []string{"thr=1", "thr=8", "miss ratio", "promotions"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig8 missing %q", want)
+		}
+	}
+}
+
+func TestFig9Drivers(t *testing.T) {
+	s := figSession()
+	s.Benchmarks = []string{"libquantum"}
+	for name, f := range map[string]func() (*Figure, error){
+		"9a": s.Fig9a, "9b": s.Fig9b, "9c": s.Fig9c, "9d": s.Fig9d,
+	} {
+		fig, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(fig.Tables[0].Header) != 5 { // workload + 4 sweep points
+			t.Fatalf("%s has %d columns", name, len(fig.Tables[0].Header))
+		}
+	}
+}
+
+func TestPowerFigureDriver(t *testing.T) {
+	s := figSession()
+	s.Benchmarks = []string{"libquantum"}
+	fig, err := s.PowerFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fig.Render()
+	if !strings.Contains(out, "energy") && !strings.Contains(out, "Energy") {
+		t.Fatalf("power figure missing energy caption:\n%s", out)
+	}
+	// Every cell must be a parseable ratio around 1.
+	row := fig.Tables[0].Rows[0]
+	if len(row) != 5 {
+		t.Fatalf("power row has %d cells", len(row))
+	}
+}

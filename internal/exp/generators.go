@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// CoreSpan returns the row-aligned address span owned by each core:
+// usable memory (capacity minus the translation-table reserve) divided
+// evenly among cores.
+func CoreSpan(cfg config.Config) uint64 {
+	geom := cfg.Geometry()
+	usable := geom.Capacity() - core.TableReserveBytes(geom)
+	span := usable / uint64(cfg.Cores)
+	return span / geom.RowBytes() * geom.RowBytes()
+}
+
+// MakeGenerator builds the deterministic synthetic generator for core
+// idx running benchmark name under cfg. The construction is shared by
+// Build and the profiling pass so both see identical streams:
+//
+//   - footprints scale with simulated memory capacity relative to the
+//     paper's 8 GB system;
+//   - phase lengths (expressed per 100M instructions in the catalog)
+//     scale with the episode length so every run sees the same number of
+//     phase changes as a full-length sample;
+//   - the seed depends on the session seed and the core index only, so
+//     all designs observe the same instruction stream.
+func MakeGenerator(cfg config.Config, name string, idx int) (workload.Generator, error) {
+	profl, err := workload.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	span := CoreSpan(cfg)
+	fp := uint64(float64(profl.FootprintBytes) * cfg.MemoryScale())
+	if min := uint64(2 << 20); fp < min {
+		fp = min
+	}
+	if fp > span {
+		fp = span
+	}
+	profl.FootprintBytes = fp
+	if profl.PhaseInstr > 0 {
+		scale := float64(cfg.InstrPerCore) / 100e6
+		profl.PhaseInstr = uint64(float64(profl.PhaseInstr) * scale)
+		if profl.PhaseInstr == 0 {
+			profl.PhaseInstr = 1
+		}
+		profl.PhaseOffsetInstr = uint64(float64(profl.PhaseOffsetInstr) * scale)
+	}
+	return workload.NewSynthetic(profl, workload.Region{
+		Base: uint64(idx) * span, Bytes: span,
+	}, cfg.Seed+uint64(idx)*1000003)
+}
+
+// ProfileWindowFactor is how much longer the offline profiling pass is
+// than the measured episode. The paper profiles whole program executions
+// and then evaluates 100M-instruction samples; the factor reproduces the
+// resulting lifetime-hot versus episode-hot mismatch that separates
+// static from dynamic management.
+const ProfileWindowFactor = 19
+
+// ProfilePass runs a functional (timing-free) pass of every benchmark's
+// generator over ProfileWindowFactor x the episode length, recording
+// per-row touch counts. This is the profile the static designs
+// (SAS-DRAM, CHARM) pre-assign from.
+func ProfilePass(cfg config.Config, benchmarks []string) (*core.RowProfile, error) {
+	geom := cfg.Geometry()
+	prof := core.NewRowProfile()
+	var in workload.Instr
+	for i, name := range benchmarks {
+		gen, err := MakeGenerator(cfg, name, i)
+		if err != nil {
+			return nil, err
+		}
+		n := cfg.InstrPerCore * ProfileWindowFactor
+		for k := uint64(0); k < n; k++ {
+			gen.Next(&in)
+			if in.Mem {
+				prof.Record(geom.RowID(geom.Decode(in.Addr)))
+			}
+		}
+	}
+	return prof, nil
+}

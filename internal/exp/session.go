@@ -1,0 +1,252 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// Session caches Standard-DRAM baseline runs (and the row profiles they
+// produce) so that every design and sweep point of a figure reuses the
+// same baseline, exactly as the paper normalizes every bar to the same
+// standard-DRAM run.
+type Session struct {
+	Cfg config.Config
+	// Parallelism bounds concurrent runs (defaults to GOMAXPROCS).
+	Parallelism int
+	// Benchmarks restricts the single-programmed figures to a subset of
+	// the Table 2 catalog (empty = all ten).
+	Benchmarks []string
+	// Mixes restricts the multi-programmed figures to a subset of M1-M8
+	// (empty = all eight).
+	Mixes []string
+
+	mu        sync.Mutex
+	baselines map[string]*baselineEntry
+	results   map[string]*resultEntry
+}
+
+type resultEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+type baselineEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+
+	profOnce sync.Once
+	profile  *core.RowProfile
+	profErr  error
+
+	statics map[int]*core.StaticAssignment // keyed by fast denominator
+	staticM sync.Mutex
+}
+
+// NewSession creates a session over cfg.
+func NewSession(cfg config.Config) *Session {
+	return &Session{
+		Cfg:         cfg,
+		Parallelism: runtime.GOMAXPROCS(0),
+		baselines:   make(map[string]*baselineEntry),
+		results:     make(map[string]*resultEntry),
+	}
+}
+
+func wkey(benchmarks []string) string { return strings.Join(benchmarks, "+") }
+
+// cfgFor adapts the session config to a benchmark set: one core per
+// benchmark (a set of four is a Table 2 mix on a 4-core system).
+func (s *Session) cfgFor(benchmarks []string) config.Config {
+	c := s.Cfg
+	c.Cores = len(benchmarks)
+	return c
+}
+
+// entry returns (creating once) the cache slot for a benchmark set.
+func (s *Session) entry(benchmarks []string) *baselineEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.baselines[wkey(benchmarks)]
+	if !ok {
+		e = &baselineEntry{statics: make(map[int]*core.StaticAssignment)}
+		s.baselines[wkey(benchmarks)] = e
+	}
+	return e
+}
+
+// Baseline runs (once) the Standard design for the benchmark set.
+func (s *Session) Baseline(benchmarks []string) (*Result, error) {
+	e := s.entry(benchmarks)
+	e.once.Do(func() {
+		sys, _, err := Build(s.cfgFor(benchmarks), core.Standard, benchmarks, nil, false)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.res, e.err = sys.Run()
+	})
+	return e.res, e.err
+}
+
+// Profile returns (computing once) the offline long-window row profile
+// for the benchmark set.
+func (s *Session) Profile(benchmarks []string) (*core.RowProfile, error) {
+	e := s.entry(benchmarks)
+	e.profOnce.Do(func() {
+		e.profile, e.profErr = ProfilePass(s.cfgFor(benchmarks), benchmarks)
+	})
+	return e.profile, e.profErr
+}
+
+// StaticAssignment returns (building once) the profiled fast-row set for
+// the benchmark set at the given fast-level denominator.
+func (s *Session) StaticAssignment(benchmarks []string, fastDenom int) (*core.StaticAssignment, error) {
+	prof, err := s.Profile(benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	e := s.entry(benchmarks)
+	e.staticM.Lock()
+	defer e.staticM.Unlock()
+	if a, ok := e.statics[fastDenom]; ok {
+		return a, nil
+	}
+	a := core.BuildStaticAssignment(prof, s.Cfg.Geometry(), fastDenom)
+	e.statics[fastDenom] = a
+	return a, nil
+}
+
+// Run executes one design over a benchmark set using cfg (which may be a
+// sweep variant of the session config differing only in management
+// parameters; the cached baseline remains valid because Standard DRAM
+// ignores them).
+func (s *Session) Run(cfg config.Config, design core.Design, benchmarks []string) (*Result, error) {
+	cfg.Cores = len(benchmarks)
+	var static *core.StaticAssignment
+	if design.Static() {
+		a, err := s.StaticAssignment(benchmarks, cfg.FastDenom)
+		if err != nil {
+			return nil, err
+		}
+		static = a
+	}
+	sys, _, err := Build(cfg, design, benchmarks, static, false)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}
+
+// resultKey identifies a run by its design, benchmarks, and every
+// configuration knob a sweep can vary.
+func resultKey(cfg config.Config, design core.Design, benchmarks []string) string {
+	return fmt.Sprintf("%v|%s|mig%v|fd%d|gs%d|tc%d|ft%d|rp%s|n%d|cp%v",
+		design, wkey(benchmarks), cfg.MigrationLatencyNS, cfg.FastDenom,
+		cfg.GroupSize, cfg.TagCacheKB, cfg.FilterThreshold, cfg.Replacement,
+		cfg.InstrPerCore, cfg.ClosedPage)
+}
+
+// Cached runs (once) a design over benchmarks with cfg and memoizes the
+// result, so figures sharing runs (e.g. 7a/7b/7c) reuse them.
+func (s *Session) Cached(cfg config.Config, design core.Design, benchmarks []string) (*Result, error) {
+	if design == core.Standard {
+		return s.Baseline(benchmarks)
+	}
+	key := resultKey(cfg, design, benchmarks)
+	s.mu.Lock()
+	e, ok := s.results[key]
+	if !ok {
+		e = &resultEntry{}
+		s.results[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.res, e.err = s.Run(cfg, design, benchmarks) })
+	return e.res, e.err
+}
+
+// CachedVs is Cached plus the improvement over the Standard baseline.
+func (s *Session) CachedVs(cfg config.Config, design core.Design, benchmarks []string) (*Result, float64, error) {
+	base, err := s.Baseline(benchmarks)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := s.Cached(cfg, design, benchmarks)
+	if err != nil {
+		return nil, 0, err
+	}
+	if design == core.Standard {
+		return base, 0, nil
+	}
+	return res, res.Improvement(base), nil
+}
+
+// RunVs runs design and returns (result, improvement-vs-baseline%).
+func (s *Session) RunVs(cfg config.Config, design core.Design, benchmarks []string) (*Result, float64, error) {
+	base, err := s.Baseline(benchmarks)
+	if err != nil {
+		return nil, 0, err
+	}
+	if design == core.Standard {
+		return base, 0, nil
+	}
+	res, err := s.Run(cfg, design, benchmarks)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, res.Improvement(base), nil
+}
+
+// job is one unit of parallel work.
+type job func() error
+
+// runAll executes jobs with bounded parallelism, returning the first
+// error.
+func (s *Session) runAll(jobs []job) error {
+	par := s.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	sem := make(chan struct{}, par)
+	errc := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := j(); err != nil {
+				errc <- err
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return fmt.Errorf("exp: %w", err)
+		}
+	}
+	return nil
+}
+
+// Prewarm computes the baselines for all benchmark sets in parallel so
+// subsequent figure runs parallelize fully.
+func (s *Session) Prewarm(sets [][]string) error {
+	jobs := make([]job, 0, len(sets))
+	for _, set := range sets {
+		set := set
+		jobs = append(jobs, func() error {
+			_, err := s.Baseline(set)
+			return err
+		})
+	}
+	return s.runAll(jobs)
+}

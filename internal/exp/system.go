@@ -1,0 +1,309 @@
+// Package exp assembles full systems (cores, caches, DAS manager, memory
+// controller, DRAM) from a config.Config, runs them under the Section 6
+// measurement protocol, and regenerates every table and figure of the
+// paper's evaluation.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/mc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// System is one fully wired simulation instance.
+type System struct {
+	Cfg    config.Config
+	Design core.Design
+	Eng    *sim.Engine
+	Cores  []*cpu.Core
+	L1s    []*cache.Cache
+	L2s    []*cache.Cache
+	LLC    *cache.Cache
+	Mgr    *core.Manager
+	Ctl    *mc.Controller
+	Dev    *dram.Device
+
+	names     []string
+	remaining int
+	warmupsTo int
+
+	// Per-core counter snapshots: [core][0]=at warm-up, [1]=at quota.
+	missSnap [][2]uint64
+	promSnap [][2]uint64
+}
+
+// Build wires a system running the named benchmarks, one per core.
+// static supplies the profiled fast-row set (required for SAS/CHARM);
+// profile enables row-heat recording (used on baseline runs).
+func Build(cfg config.Config, design core.Design, benchmarks []string, static *core.StaticAssignment, profile bool) (*System, *core.RowProfile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(benchmarks) != cfg.Cores {
+		return nil, nil, fmt.Errorf("exp: %d benchmarks for %d cores", len(benchmarks), cfg.Cores)
+	}
+	if design.Static() && static == nil {
+		return nil, nil, fmt.Errorf("exp: %v requires a static assignment (run a Standard baseline first)", design)
+	}
+	eng := sim.NewEngine()
+	dev, err := dram.New(cfg.DRAMConfig(design))
+	if err != nil {
+		return nil, nil, err
+	}
+	mcCfg := mc.Config{
+		WindowSize: cfg.WindowSize, WriteHigh: cfg.WriteHigh, WriteLow: cfg.WriteLow,
+		StarvationLimit: sim.FromNS(cfg.StarvationLimitNS),
+		ClosedPage:      cfg.ClosedPage,
+	}
+	ctl, err := mc.New(mcCfg, eng, dev, cfg.Cores)
+	if err != nil {
+		return nil, nil, err
+	}
+	mgrCfg, err := cfg.ManagerConfig(design)
+	if err != nil {
+		return nil, nil, err
+	}
+	mgr, err := core.NewManager(mgrCfg, eng, ctl, cfg.Cores)
+	if err != nil {
+		return nil, nil, err
+	}
+	if static != nil {
+		mgr.SetStaticAssignment(static)
+	}
+	var prof *core.RowProfile
+	if profile {
+		prof = mgr.EnableProfiling()
+	}
+	cpuPeriod := sim.NewClockHz(cfg.CPUGHz * 1e9).Period()
+	llc, err := cache.New(cache.Config{
+		Name: "LLC", SizeBytes: cfg.LLCKB << 10, Assoc: cfg.LLCAssoc,
+		BlockSize: cfg.BlockSize, Latency: sim.Time(cfg.LLCLatency) * cpuPeriod,
+		MSHRs: cfg.LLCMSHRs,
+	}, eng, mgr, cfg.Cores)
+	if err != nil {
+		return nil, nil, err
+	}
+	mgr.SetLLC(llc)
+	sys := &System{
+		Cfg: cfg, Design: design, Eng: eng,
+		LLC: llc, Mgr: mgr, Ctl: ctl, Dev: dev,
+		names:     benchmarks,
+		remaining: cfg.Cores,
+		warmupsTo: cfg.Cores,
+		missSnap:  make([][2]uint64, cfg.Cores),
+		promSnap:  make([][2]uint64, cfg.Cores),
+	}
+	coreCfg := cpu.Config{
+		ClockHz: cfg.CPUGHz * 1e9, Width: cfg.Width,
+		ROB: cfg.ROB, StoreBuffer: cfg.StoreBuffer,
+	}
+	for i, name := range benchmarks {
+		gen, err := MakeGenerator(cfg, name, i)
+		if err != nil {
+			return nil, nil, err
+		}
+		l2, err := cache.New(cache.Config{
+			Name: fmt.Sprintf("L2-%d", i), SizeBytes: cfg.L2KB << 10, Assoc: cfg.L2Assoc,
+			BlockSize: cfg.BlockSize, Latency: sim.Time(cfg.L2Latency) * cpuPeriod,
+			MSHRs: cfg.L2MSHRs,
+		}, eng, llc, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		l1, err := cache.New(cache.Config{
+			Name: fmt.Sprintf("L1-%d", i), SizeBytes: cfg.L1KB << 10, Assoc: cfg.L1Assoc,
+			BlockSize: cfg.BlockSize, Latency: sim.Time(cfg.L1Latency) * cpuPeriod,
+			MSHRs: cfg.L1MSHRs,
+		}, eng, l2, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := cpu.New(i, coreCfg, eng, gen, l1)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys.L2s = append(sys.L2s, l2)
+		sys.L1s = append(sys.L1s, l1)
+		sys.Cores = append(sys.Cores, c)
+	}
+	return sys, prof, nil
+}
+
+// onWarmup snapshots per-core counters and, once every core has crossed
+// its warm-up boundary, resets the shared statistics.
+func (s *System) onWarmup(id int) {
+	s.missSnap[id][0] = s.LLC.Stats.PerCoreMisses[id]
+	s.promSnap[id][0] = perCorePromotion(s.Mgr, id)
+	s.warmupsTo--
+	if s.warmupsTo == 0 {
+		// Shared-counter measurement window starts when the last core is
+		// warm; per-core windows subtract their own snapshots.
+		base := make([]uint64, len(s.Cores))
+		for i := range base {
+			base[i] = s.LLC.Stats.PerCoreMisses[i]
+		}
+		s.LLC.ResetStats()
+		copy(s.LLC.Stats.PerCoreMisses, base) // keep per-core continuity
+		s.Ctl.ResetStats()
+		s.Dev.ResetStats()
+		promBase := make([]uint64, len(s.Cores))
+		for i := range promBase {
+			promBase[i] = perCorePromotion(s.Mgr, i)
+		}
+		s.Mgr.ResetStats()
+		copy(s.Mgr.Stats.PerCorePromotions, promBase)
+	}
+}
+
+func perCorePromotion(m *core.Manager, id int) uint64 {
+	if m.Stats.PerCorePromotions == nil {
+		return 0
+	}
+	return m.Stats.PerCorePromotions[id]
+}
+
+// onQuota snapshots a core's end-of-window counters.
+func (s *System) onQuota(id int) {
+	s.missSnap[id][1] = s.LLC.Stats.PerCoreMisses[id]
+	s.promSnap[id][1] = perCorePromotion(s.Mgr, id)
+	s.remaining--
+}
+
+// Run executes the measurement protocol and collects results.
+func (s *System) Run() (*Result, error) {
+	warmup := uint64(float64(s.Cfg.InstrPerCore) * s.Cfg.WarmupFrac)
+	for _, c := range s.Cores {
+		c.Start(warmup, s.Cfg.InstrPerCore, s.onWarmup, s.onQuota)
+	}
+	// Watchdog: a livelocked system (e.g. tickers firing with no forward
+	// progress) would otherwise run forever; no sane run needs an average
+	// of 50 ns per instruction (IPC ~0.007).
+	limit := sim.Time(s.Cfg.InstrPerCore) * 50 * sim.Nanosecond
+	for s.remaining > 0 {
+		if !s.Eng.Step() {
+			return nil, fmt.Errorf("exp: event queue drained with %d cores unfinished (deadlock)", s.remaining)
+		}
+		if s.Eng.Now() > limit {
+			return nil, fmt.Errorf("exp: watchdog: %d cores unfinished after %v ns simulated (livelock?)",
+				s.remaining, s.Eng.Now().NS())
+		}
+	}
+	return s.collect(), nil
+}
+
+// CoreResult is one benchmark's measured behaviour.
+type CoreResult struct {
+	Benchmark   string
+	IPC         float64
+	Retired     uint64
+	LLCMisses   uint64
+	MPKI        float64
+	Promotions  uint64
+	PPKM        float64 // promotions per kilo-miss
+	FootprintMB float64
+}
+
+// Result is one run's full measurement.
+type Result struct {
+	Design   core.Design
+	PerCore  []CoreResult
+	Access   stats.Dist // demand access locations (Fig 7c/7f/8b)
+	DevStats dram.Stats
+
+	Promotions       uint64
+	PromPerAccess    float64 // promotions / demand accesses (Fig 8c)
+	TagHitRatio      float64
+	TableFetches     uint64
+	FilterRejects    uint64
+	AvgReadLatencyNS float64
+	ReadLatHist      [6]uint64 // <50, <100, <200, <500, <1000, >=1000 ns
+	EnergyProxy      float64   // relative DRAM access-energy estimate (§7.7)
+	SimulatedNS      float64
+	Events           uint64
+}
+
+// collect derives the Result after all cores reached quota.
+func (s *System) collect() *Result {
+	r := &Result{Design: s.Design}
+	for i, c := range s.Cores {
+		misses := s.missSnap[i][1] - s.missSnap[i][0]
+		proms := s.promSnap[i][1] - s.promSnap[i][0]
+		kilo := float64(c.Stats.Retired) / 1000
+		cr := CoreResult{
+			Benchmark:   s.names[i],
+			IPC:         c.IPC(),
+			Retired:     c.Stats.Retired,
+			LLCMisses:   misses,
+			Promotions:  proms,
+			FootprintMB: float64(len(c.Stats.Pages)) * 4096 / (1 << 20),
+		}
+		if kilo > 0 {
+			cr.MPKI = float64(misses) / kilo
+		}
+		if misses > 0 {
+			cr.PPKM = float64(proms) / (float64(misses) / 1000)
+		}
+		r.PerCore = append(r.PerCore, cr)
+	}
+	cs := s.Ctl.Stats
+	r.Access = stats.Dist{RowBuffer: cs.ServedRowBuffer, Fast: cs.ServedFast, Slow: cs.ServedSlow}
+	r.DevStats = s.Dev.CollectStats()
+	r.Promotions = s.Mgr.Stats.Promotions
+	if total := cs.Reads + cs.Writes; total > 0 {
+		r.PromPerAccess = float64(r.Promotions) / float64(total)
+		r.AvgReadLatencyNS = cs.ReadLatencySum.NS() / float64(cs.Reads)
+		r.ReadLatHist = cs.ReadLatHist
+	}
+	if tc := s.Mgr.TagCache(); tc != nil {
+		r.TagHitRatio = tc.HitRatio()
+	}
+	r.TableFetches = s.Mgr.Stats.TableFetches
+	if f := s.Mgr.Filter(); f != nil {
+		r.FilterRejects = f.Rejects
+	}
+	r.EnergyProxy = energyProxy(r.DevStats)
+	r.SimulatedNS = s.Eng.Now().NS()
+	r.Events = s.Eng.Executed()
+	return r
+}
+
+// energyProxy estimates relative DRAM array energy (Section 7.7): a slow
+// activate-restore-precharge cycle is the unit; a fast-subarray cycle
+// costs ~45% of it (shorter bitlines move proportionally less charge),
+// a column burst ~25%, a refresh ~8 bank cycles, and a migration swap
+// two full row cycles in each of two subarrays.
+func energyProxy(d dram.Stats) float64 {
+	slowActs := float64(d.Activates - d.ActivatesFast)
+	fastActs := float64(d.ActivatesFast)
+	return slowActs*1.0 +
+		fastActs*0.45 +
+		float64(d.Reads+d.Writes)*0.25 +
+		float64(d.Refreshes)*8.0 +
+		float64(d.Migrations)*4.0
+}
+
+// Speedup returns this run's mean per-core IPC ratio against a baseline
+// run of the same benchmarks (the paper's performance-improvement
+// metric; for one core it reduces to the plain IPC ratio).
+func (r *Result) Speedup(baseline *Result) float64 {
+	if len(r.PerCore) != len(baseline.PerCore) {
+		panic("exp: speedup against mismatched baseline")
+	}
+	ratios := make([]float64, len(r.PerCore))
+	for i := range r.PerCore {
+		ratios[i] = r.PerCore[i].IPC / baseline.PerCore[i].IPC
+	}
+	return stats.Mean(ratios)
+}
+
+// Improvement returns the percentage improvement over baseline.
+func (r *Result) Improvement(baseline *Result) float64 {
+	return (r.Speedup(baseline) - 1) * 100
+}

@@ -1,0 +1,602 @@
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// WindowSize is the per-channel scheduling window (Table 1: 32).
+	WindowSize int
+	// WriteHigh/WriteLow are the write-queue drain watermarks.
+	WriteHigh, WriteLow int
+	// StarvationLimit promotes the oldest request over row hits once it
+	// has waited this long, bounding FR-FCFS starvation.
+	StarvationLimit sim.Time
+	// ClosedPage switches from Table 1's open-page policy to a
+	// closed-page policy: rows are precharged as soon as no queued
+	// request targets them (an ablation knob; the paper's row-buffer
+	// locality argument assumes open page).
+	ClosedPage bool
+}
+
+// DefaultConfig returns the Table 1 controller configuration.
+func DefaultConfig() Config {
+	return Config{
+		WindowSize:      32,
+		WriteHigh:       32,
+		WriteLow:        8,
+		StarvationLimit: sim.FromNS(1000),
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.WindowSize <= 0 {
+		return fmt.Errorf("mc: window size must be positive")
+	}
+	if c.WriteHigh <= 0 || c.WriteLow < 0 || c.WriteLow >= c.WriteHigh {
+		return fmt.Errorf("mc: watermarks must satisfy 0 <= low < high")
+	}
+	if c.StarvationLimit <= 0 {
+		return fmt.Errorf("mc: starvation limit must be positive")
+	}
+	return nil
+}
+
+// Stats counts controller activity (demand traffic unless noted).
+type Stats struct {
+	Reads, Writes   uint64
+	ServedRowBuffer uint64
+	ServedFast      uint64
+	ServedSlow      uint64
+	MetaReads       uint64
+	MetaWrites      uint64
+	Migrations      uint64
+	ReadLatencySum  sim.Time // enqueue -> data burst end, demand reads
+	// ReadLatHist buckets demand-read latencies (ns): <50, <100, <200,
+	// <500, <1000, >=1000.
+	ReadLatHist [6]uint64
+	MigWaitSum  sim.Time // migration enqueue -> issue
+	// PerCore breaks down demand accesses by service kind, indexed by
+	// core then ServiceKind.
+	PerCore [][3]uint64
+}
+
+// Controller is the multi-channel memory controller.
+type Controller struct {
+	cfg   Config
+	eng   *sim.Engine
+	dev   *dram.Device
+	chans []*chanCtl
+
+	Stats Stats
+}
+
+// New builds a controller for dev with cores per-core stat slots.
+func New(cfg Config, eng *sim.Engine, dev *dram.Device, cores int) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg, eng: eng, dev: dev}
+	if cores > 0 {
+		c.Stats.PerCore = make([][3]uint64, cores)
+	}
+	clock := sim.NewClock(dev.ClockPeriod())
+	for i := 0; i < dev.Channels(); i++ {
+		cc := &chanCtl{
+			ctl: c,
+			idx: i,
+			ch:  dev.Channel(i),
+		}
+		geo := dev.Geometry()
+		cc.reserved = make([]bool, geo.Ranks*geo.Banks)
+		cc.refreshPending = make([]bool, geo.Ranks)
+		cc.ticker = sim.NewTicker(eng, clock, cc.tick)
+		c.chans = append(c.chans, cc)
+	}
+	return c, nil
+}
+
+// Device returns the attached DRAM model.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Enqueue adds a translated request to its channel's queue. Writes are
+// posted: Done fires immediately.
+func (c *Controller) Enqueue(req *Request) {
+	cc := c.chans[req.Coord.Channel]
+	req.enqueued = c.eng.Now()
+	if req.Write {
+		cc.writeQ = append(cc.writeQ, req)
+		if req.Done != nil {
+			done := req.Done
+			req.Done = nil
+			done(ServiceRowBuffer) // posted; kind recorded at issue
+		}
+	} else {
+		cc.readQ = append(cc.readQ, req)
+	}
+	cc.wake()
+}
+
+// Migrate schedules a migration (promotion swap) on the given bank. The
+// bank is reserved: new activations are withheld, the open row is closed,
+// and once precharged the migration occupies the bank for the device's
+// migration latency. done fires at completion.
+func (c *Controller) Migrate(channel, rank, bank, row int, done func()) {
+	cc := c.chans[channel]
+	cc.migQ = append(cc.migQ, &migOp{
+		channel: channel, rank: rank, bank: bank, row: row,
+		done: done, enqueued: c.eng.Now(),
+	})
+	cc.reserved[rank*c.dev.Geometry().Banks+bank] = true
+	cc.wake()
+}
+
+// QueueDepths reports total queued reads and writes (diagnostics).
+func (c *Controller) QueueDepths() (reads, writes int) {
+	for _, cc := range c.chans {
+		reads += len(cc.readQ)
+		writes += len(cc.writeQ)
+	}
+	return
+}
+
+// PendingMigrations reports queued migration operations.
+func (c *Controller) PendingMigrations() int {
+	n := 0
+	for _, cc := range c.chans {
+		n += len(cc.migQ)
+	}
+	return n
+}
+
+// ResetStats zeroes the counters (warm-up boundary).
+func (c *Controller) ResetStats() {
+	perCore := c.Stats.PerCore
+	c.Stats = Stats{}
+	if perCore != nil {
+		for i := range perCore {
+			perCore[i] = [3]uint64{}
+		}
+		c.Stats.PerCore = perCore
+	}
+}
+
+// chanCtl schedules one channel.
+type chanCtl struct {
+	ctl *Controller
+	idx int
+	ch  *dram.Channel
+
+	readQ  []*Request
+	writeQ []*Request
+	migQ   []*migOp
+
+	reserved       []bool // rank*banks+bank -> migration reservation
+	refreshPending []bool // rank -> refresh overdue, drain it
+	drain          bool   // write-drain mode
+
+	ticker *sim.Ticker
+}
+
+// wake ensures the scheduler is ticking.
+func (cc *chanCtl) wake() { cc.ticker.Start() }
+
+// bankReserved reports whether (rank, bank) is held for a migration.
+func (cc *chanCtl) bankReserved(rank, bank int) bool {
+	return cc.reserved[rank*cc.ctl.dev.Geometry().Banks+bank]
+}
+
+// bankBlocked reports whether (rank, bank) refuses new demand row
+// commands at time t. A migration reservation only hard-blocks once its
+// grace window has expired: before that, demand scheduling proceeds
+// normally and the migration starts opportunistically (it still has
+// priority whenever the bank is ready for it).
+func (cc *chanCtl) bankBlocked(rank, bank int, t sim.Time) bool {
+	if !cc.bankReserved(rank, bank) {
+		return false
+	}
+	for _, op := range cc.migQ {
+		if op.rank == rank && op.bank == bank {
+			return t-op.enqueued >= migGrace
+		}
+	}
+	return true
+}
+
+// tick issues at most one command on this channel per DRAM cycle.
+func (cc *chanCtl) tick() {
+	t := cc.ctl.eng.Now()
+	if cc.issueRefresh(t) {
+		return
+	}
+	if cc.issueMigration(t) {
+		return
+	}
+	cc.updateDrainMode()
+	if cc.issueColumn(t) {
+		return
+	}
+	if cc.issueRowCommand(t) {
+		return
+	}
+	if cc.ctl.cfg.ClosedPage && cc.closeIdleRows(t) {
+		return
+	}
+	cc.maybeSleep(t)
+}
+
+// closeIdleRows implements the closed-page policy: precharge any open
+// row with no queued demand for it.
+func (cc *chanCtl) closeIdleRows(t sim.Time) bool {
+	for r := 0; r < cc.ch.Ranks(); r++ {
+		for b := 0; b < cc.ctl.dev.Geometry().Banks; b++ {
+			bank := cc.ch.Rank(r).Bank(b)
+			if !bank.HasOpenRow() || cc.bankReserved(r, b) {
+				continue
+			}
+			if cc.pendingRowHit(r, b, bank.OpenRow()) {
+				continue
+			}
+			if cc.ch.CanPrecharge(t, r, b) {
+				cc.ch.Precharge(t, r, b)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// maybeSleep stops the ticker when there is no work, arranging a wake-up
+// for the next refresh deadline.
+func (cc *chanCtl) maybeSleep(t sim.Time) {
+	if len(cc.readQ) > 0 || len(cc.writeQ) > 0 || len(cc.migQ) > 0 {
+		return
+	}
+	for r := 0; r < cc.ch.Ranks(); r++ {
+		if cc.refreshPending[r] || cc.ch.RefreshDue(t, r) {
+			return
+		}
+	}
+	if cc.ctl.cfg.ClosedPage {
+		// Closed-page still owes precharges to idle open rows.
+		for r := 0; r < cc.ch.Ranks(); r++ {
+			for b := 0; b < cc.ctl.dev.Geometry().Banks; b++ {
+				if cc.ch.Rank(r).Bank(b).HasOpenRow() {
+					return
+				}
+			}
+		}
+	}
+	cc.ticker.Stop()
+	// Earliest future refresh deadline restarts the scheduler.
+	var earliest sim.Time = -1
+	for r := 0; r < cc.ch.Ranks(); r++ {
+		due := cc.ch.Rank(r).NextRefreshDue()
+		if earliest < 0 || due < earliest {
+			earliest = due
+		}
+	}
+	if earliest >= 0 {
+		delay := earliest - t
+		if delay < 0 {
+			delay = 0
+		}
+		cc.ctl.eng.Schedule(delay, cc.wake)
+	}
+}
+
+// issueRefresh gives overdue refreshes absolute priority: the rank is
+// drained (open banks precharged) and refreshed.
+func (cc *chanCtl) issueRefresh(t sim.Time) bool {
+	for r := 0; r < cc.ch.Ranks(); r++ {
+		if !cc.refreshPending[r] {
+			if cc.ch.RefreshDue(t, r) {
+				cc.refreshPending[r] = true
+			} else {
+				continue
+			}
+		}
+		if cc.ch.CanRefresh(t, r) {
+			cc.ch.Refresh(t, r)
+			cc.refreshPending[r] = false
+			return true
+		}
+		for b := 0; b < cc.ctl.dev.Geometry().Banks; b++ {
+			bank := cc.ch.Rank(r).Bank(b)
+			if bank.HasOpenRow() && cc.ch.CanPrecharge(t, r, b) {
+				cc.ch.Precharge(t, r, b)
+				return true
+			}
+		}
+		// Rank is draining (tRAS etc. pending); hold its new commands but
+		// let other ranks use the cycle.
+	}
+	return false
+}
+
+// migGrace is how long a pending migration lets queued row hits drain
+// before forcing its bank closed. Promotions follow an access to the
+// very row being promoted, so sibling hits are usually in flight;
+// slamming the row shut immediately costs more than the migration
+// itself.
+const migGrace = 600 * sim.Nanosecond
+
+// issueMigration drives pending migrations on reserved banks.
+func (cc *chanCtl) issueMigration(t sim.Time) bool {
+	for qi, op := range cc.migQ {
+		if cc.refreshPending[op.rank] {
+			continue
+		}
+		if cc.ch.CanMigrate(t, op.rank, op.bank, op.row) {
+			end := cc.ch.Migrate(t, op.rank, op.bank)
+			cc.ctl.Stats.Migrations++
+			cc.ctl.Stats.MigWaitSum += t - op.enqueued
+			cc.migQ = append(cc.migQ[:qi], cc.migQ[qi+1:]...)
+			cc.unreserve(op)
+			done := op.done
+			if done != nil {
+				cc.ctl.eng.ScheduleAt(end, done)
+			}
+			return true
+		}
+		bank := cc.ch.Rank(op.rank).Bank(op.bank)
+		if bank.HasOpenRow() && bank.OpenRow() != op.row && cc.ch.CanPrecharge(t, op.rank, op.bank) {
+			// A different row blocks the swap; drain its queued hits for a
+			// grace period, then close it.
+			if t-op.enqueued < migGrace && cc.pendingRowHit(op.rank, op.bank, bank.OpenRow()) {
+				continue
+			}
+			cc.ch.Precharge(t, op.rank, op.bank)
+			return true
+		}
+	}
+	return false
+}
+
+// pendingRowHit reports whether any windowed request targets the open
+// row of (rank, bank).
+func (cc *chanCtl) pendingRowHit(rank, bank, row int) bool {
+	for _, req := range cc.window(cc.readQ) {
+		if req.Coord.Rank == rank && req.Coord.Bank == bank && req.Coord.Row == row {
+			return true
+		}
+	}
+	for _, req := range cc.window(cc.writeQ) {
+		if req.Coord.Rank == rank && req.Coord.Bank == bank && req.Coord.Row == row {
+			return true
+		}
+	}
+	return false
+}
+
+// unreserve releases a bank reservation unless another queued migration
+// targets the same bank.
+func (cc *chanCtl) unreserve(op *migOp) {
+	for _, other := range cc.migQ {
+		if other.rank == op.rank && other.bank == op.bank {
+			return
+		}
+	}
+	cc.reserved[op.rank*cc.ctl.dev.Geometry().Banks+op.bank] = false
+}
+
+// updateDrainMode applies the write watermarks.
+func (cc *chanCtl) updateDrainMode() {
+	if !cc.drain && len(cc.writeQ) >= cc.ctl.cfg.WriteHigh {
+		cc.drain = true
+	}
+	if cc.drain && len(cc.writeQ) <= cc.ctl.cfg.WriteLow {
+		cc.drain = false
+	}
+}
+
+// window returns the scheduling window over q.
+func (cc *chanCtl) window(q []*Request) []*Request {
+	if len(q) > cc.ctl.cfg.WindowSize {
+		return q[:cc.ctl.cfg.WindowSize]
+	}
+	return q
+}
+
+// schedulable reports whether req's bank accepts new demand commands at
+// time t.
+func (cc *chanCtl) schedulable(req *Request, t sim.Time) bool {
+	return !cc.refreshPending[req.Coord.Rank] && !cc.bankBlocked(req.Coord.Rank, req.Coord.Bank, t)
+}
+
+// starving reports whether the oldest read has waited past the limit, in
+// which case row hits yield to it. A request whose bank is held by a
+// migration or refresh cannot be served no matter what, so it must not
+// freeze the channel: scheduling proceeds normally around it.
+func (cc *chanCtl) starving(t sim.Time) bool {
+	return len(cc.readQ) > 0 &&
+		t-cc.readQ[0].enqueued > cc.ctl.cfg.StarvationLimit &&
+		cc.schedulable(cc.readQ[0], t)
+}
+
+// issueColumn tries to issue a row-hit column command (first half of
+// FR-FCFS). Writes take priority in drain mode; otherwise reads first and
+// writes only opportunistically when no read is queued. A starving oldest
+// read narrows the window to itself so younger row hits stop overtaking
+// it (but it can still issue its own column command).
+func (cc *chanCtl) issueColumn(t sim.Time) bool {
+	if cc.starving(t) {
+		return cc.issueColumnFrom(t, cc.readQ[:1], false)
+	}
+	if cc.drain {
+		return cc.issueColumnFrom(t, cc.writeQ, true) || cc.issueColumnFrom(t, cc.readQ, false)
+	}
+	if cc.issueColumnFrom(t, cc.readQ, false) {
+		return true
+	}
+	if len(cc.readQ) == 0 && len(cc.writeQ) > 0 {
+		return cc.issueColumnFrom(t, cc.writeQ, true)
+	}
+	return false
+}
+
+// issueColumnFrom issues the oldest row-hit request from q. Row hits are
+// allowed on banks reserved for migration (the row is open anyway and
+// the hit delays nothing the migration needs); only an overdue refresh
+// blocks them.
+func (cc *chanCtl) issueColumnFrom(t sim.Time, q []*Request, isWrite bool) bool {
+	for _, req := range cc.window(q) {
+		if cc.refreshPending[req.Coord.Rank] {
+			continue
+		}
+		bank := cc.ch.Rank(req.Coord.Rank).Bank(req.Coord.Bank)
+		if !bank.HasOpenRow() || bank.OpenRow() != req.Coord.Row {
+			continue
+		}
+		if isWrite {
+			if !cc.ch.CanWrite(t, req.Coord.Rank, req.Coord.Bank) {
+				continue
+			}
+			cc.ch.Write(t, req.Coord.Rank, req.Coord.Bank)
+		} else {
+			if !cc.ch.CanRead(t, req.Coord.Rank, req.Coord.Bank) {
+				continue
+			}
+			end := cc.ch.Read(t, req.Coord.Rank, req.Coord.Bank)
+			cc.completeRead(req, end)
+		}
+		cc.account(req, isWrite)
+		cc.remove(req, isWrite)
+		return true
+	}
+	return false
+}
+
+// issueRowCommand serves the oldest request needing a PRE or ACT (second
+// half of FR-FCFS). Drain mode reverses the read/write priority; outside
+// drain mode writes only open rows when no read is waiting.
+func (cc *chanCtl) issueRowCommand(t sim.Time) bool {
+	if cc.starving(t) {
+		return cc.issueRowCommandFrom(t, cc.readQ[:1])
+	}
+	if cc.drain {
+		return cc.issueRowCommandFrom(t, cc.writeQ) || cc.issueRowCommandFrom(t, cc.readQ)
+	}
+	if cc.issueRowCommandFrom(t, cc.readQ) {
+		return true
+	}
+	if len(cc.readQ) == 0 {
+		return cc.issueRowCommandFrom(t, cc.writeQ)
+	}
+	return false
+}
+
+// issueRowCommandFrom issues a PRE or ACT for the oldest conflicting
+// request in q.
+func (cc *chanCtl) issueRowCommandFrom(t sim.Time, q []*Request) bool {
+	for _, req := range cc.window(q) {
+		if !cc.schedulable(req, t) {
+			continue
+		}
+		bank := cc.ch.Rank(req.Coord.Rank).Bank(req.Coord.Bank)
+		if bank.HasOpenRow() {
+			if bank.OpenRow() == req.Coord.Row {
+				continue // row hit handled by issueColumn
+			}
+			if cc.ch.CanPrecharge(t, req.Coord.Rank, req.Coord.Bank) {
+				cc.ch.Precharge(t, req.Coord.Rank, req.Coord.Bank)
+				return true
+			}
+			continue
+		}
+		if cc.ch.CanActivate(t, req.Coord.Rank, req.Coord.Bank, req.Class) {
+			cc.ch.Activate(t, req.Coord.Rank, req.Coord.Bank, req.Coord.Row, req.Class)
+			req.firstOpen = true
+			return true
+		}
+	}
+	return false
+}
+
+// completeRead schedules the request's Done at the data burst end.
+func (cc *chanCtl) completeRead(req *Request, end sim.Time) {
+	if !req.Meta {
+		lat := end - req.enqueued
+		cc.ctl.Stats.ReadLatencySum += lat
+		ns := lat.NS()
+		switch {
+		case ns < 50:
+			cc.ctl.Stats.ReadLatHist[0]++
+		case ns < 100:
+			cc.ctl.Stats.ReadLatHist[1]++
+		case ns < 200:
+			cc.ctl.Stats.ReadLatHist[2]++
+		case ns < 500:
+			cc.ctl.Stats.ReadLatHist[3]++
+		case ns < 1000:
+			cc.ctl.Stats.ReadLatHist[4]++
+		default:
+			cc.ctl.Stats.ReadLatHist[5]++
+		}
+	}
+	if req.Done != nil {
+		kind := cc.serviceKind(req)
+		done := req.Done
+		cc.ctl.eng.ScheduleAt(end, func() { done(kind) })
+	}
+}
+
+// serviceKind classifies how req was served.
+func (cc *chanCtl) serviceKind(req *Request) ServiceKind {
+	if !req.firstOpen {
+		return ServiceRowBuffer
+	}
+	if req.Class == dram.RowFast {
+		return ServiceFast
+	}
+	return ServiceSlow
+}
+
+// account updates the service statistics at issue time.
+func (cc *chanCtl) account(req *Request, isWrite bool) {
+	s := &cc.ctl.Stats
+	if req.Meta {
+		if isWrite {
+			s.MetaWrites++
+		} else {
+			s.MetaReads++
+		}
+		return
+	}
+	if isWrite {
+		s.Writes++
+	} else {
+		s.Reads++
+	}
+	kind := cc.serviceKind(req)
+	switch kind {
+	case ServiceRowBuffer:
+		s.ServedRowBuffer++
+	case ServiceFast:
+		s.ServedFast++
+	case ServiceSlow:
+		s.ServedSlow++
+	}
+	if req.Core >= 0 && req.Core < len(s.PerCore) {
+		s.PerCore[req.Core][kind]++
+	}
+}
+
+// remove deletes req from its queue.
+func (cc *chanCtl) remove(req *Request, isWrite bool) {
+	q := &cc.readQ
+	if isWrite {
+		q = &cc.writeQ
+	}
+	for i, r := range *q {
+		if r == req {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package mem defines the request type and component interface that tie
+// the memory hierarchy together: cores issue requests into caches, caches
+// forward misses to lower levels, and the lowest level is the DAS-DRAM
+// manager + memory controller.
+package mem
+
+import "repro/internal/sim"
+
+// Request is one cache-block-sized memory access travelling down the
+// hierarchy. Requests are created by a core (demand access), by a cache
+// (writeback), or by the DAS manager (translation-table access).
+type Request struct {
+	// Addr is the physical byte address; components align it down to
+	// their block size as needed.
+	Addr uint64
+	// Write marks stores and writebacks.
+	Write bool
+	// Writeback marks dirty-eviction traffic. Caches forward writeback
+	// misses downward without allocating (no fetch-on-writeback).
+	Writeback bool
+	// Meta marks metadata traffic (DAS translation-table accesses) so
+	// statistics can separate it from demand traffic.
+	Meta bool
+	// Core is the index of the originating core, or -1 for traffic with
+	// no core attribution (e.g. translation fetches).
+	Core int
+	// Issued is when the request entered the hierarchy.
+	Issued sim.Time
+	// Done is invoked exactly once when the request completes (data
+	// returned for reads; accepted/posted for writes). May be nil.
+	Done func()
+}
+
+// Complete fires the Done callback if present.
+func (r *Request) Complete() {
+	if r.Done != nil {
+		r.Done()
+	}
+}
+
+// Component is anything that can accept a memory request. Access never
+// blocks the caller; completion is signalled through Request.Done. An
+// overloaded component queues internally, which models backpressure as
+// added latency.
+type Component interface {
+	Access(req *Request)
+}

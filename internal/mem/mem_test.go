@@ -1,0 +1,17 @@
+package mem
+
+import "testing"
+
+func TestCompleteFiresDoneOnce(t *testing.T) {
+	n := 0
+	r := &Request{Addr: 0x40, Done: func() { n++ }}
+	r.Complete()
+	if n != 1 {
+		t.Fatalf("Done fired %d times", n)
+	}
+}
+
+func TestCompleteNilDone(t *testing.T) {
+	r := &Request{Addr: 0x40}
+	r.Complete() // must not panic
+}

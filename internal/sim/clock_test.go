@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockConversions(t *testing.T) {
+	c := NewClock(1250) // DDR3-1600 command clock
+	if c.Cycles(13750) != 11 {
+		t.Errorf("13.75ns = %d cycles, want 11", c.Cycles(13750))
+	}
+	if c.Cycles(13751) != 12 {
+		t.Errorf("rounding up failed: %d", c.Cycles(13751))
+	}
+	if c.Duration(39) != 48750 {
+		t.Errorf("39 cycles = %d ps, want 48750", c.Duration(39))
+	}
+	if c.Cycles(0) != 0 || c.Cycles(-5) != 0 {
+		t.Error("non-positive durations should be 0 cycles")
+	}
+}
+
+func TestClockHz(t *testing.T) {
+	c := NewClockHz(3e9)
+	if c.Period() != 333 {
+		t.Errorf("3GHz period = %d ps, want 333", c.Period())
+	}
+	c = NewClockHz(800e6)
+	if c.Period() != 1250 {
+		t.Errorf("800MHz period = %d ps, want 1250", c.Period())
+	}
+}
+
+func TestClockNextEdge(t *testing.T) {
+	c := NewClock(100)
+	cases := []struct{ in, want Time }{{0, 0}, {1, 100}, {99, 100}, {100, 100}, {101, 200}}
+	for _, cs := range cases {
+		if got := c.NextEdge(cs.in); got != cs.want {
+			t.Errorf("NextEdge(%d) = %d, want %d", cs.in, got, cs.want)
+		}
+	}
+}
+
+func TestClockZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestClockRoundtripProperty(t *testing.T) {
+	// Property: Duration(Cycles(d)) >= d for any non-negative duration
+	// (ceiling conversion never undershoots a constraint).
+	c := NewClock(1250)
+	check := func(d uint32) bool {
+		dur := Time(d)
+		return c.Duration(c.Cycles(dur)) >= dur
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerTicksAndStops(t *testing.T) {
+	e := NewEngine()
+	c := NewClock(10)
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(e, c, func() {
+		count++
+		if count == 5 {
+			tk.Stop()
+		}
+	})
+	tk.Start()
+	e.Run()
+	if count != 5 {
+		t.Fatalf("ticked %d times, want 5", count)
+	}
+	if tk.Running() {
+		t.Fatal("ticker still running after stop")
+	}
+	// Restart works.
+	tk.Start()
+	e.RunUntil(e.Now() + 100)
+	if count <= 5 {
+		t.Fatal("ticker did not restart")
+	}
+}
+
+func TestTickerStartIdempotent(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tk := NewTicker(e, NewClock(10), func() { count++ })
+	tk.Start()
+	tk.Start() // must not double-schedule
+	e.RunUntil(35)
+	if count != 4 { // t=0,10,20,30
+		t.Fatalf("ticked %d times, want 4", count)
+	}
+	tk.Stop()
+	e.Run()
+}
+
+func TestTickerAlignsToEdge(t *testing.T) {
+	e := NewEngine()
+	var first Time = -1
+	var tk *Ticker
+	tk = NewTicker(e, NewClock(100), func() {
+		if first < 0 {
+			first = e.Now()
+		}
+		tk.Stop()
+	})
+	e.Schedule(150, tk.Start)
+	e.Run()
+	if first != 200 {
+		t.Fatalf("first tick at %d, want next edge 200", first)
+	}
+}

@@ -1,0 +1,141 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is a global int64 measured in picoseconds. Components schedule
+// callbacks at absolute or relative times; events at the same timestamp
+// fire in FIFO order of scheduling, which makes every simulation run
+// bit-reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in picoseconds.
+type Time int64
+
+// Common time units, in picoseconds.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * 1000
+	Millisecond Time = 1000 * 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000 * 1000
+)
+
+// FromNS converts a duration in (possibly fractional) nanoseconds to Time,
+// rounding to the nearest picosecond.
+func FromNS(ns float64) Time {
+	if ns < 0 {
+		return Time(ns*1000 - 0.5)
+	}
+	return Time(ns*1000 + 0.5)
+}
+
+// NS reports t in nanoseconds as a float.
+func (t Time) NS() float64 { return float64(t) / 1000 }
+
+// event is a single scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for equal timestamps
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Executed counts events that have fired; useful for diagnostics.
+	executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay. A negative delay panics: scheduling into
+// the past would silently corrupt causality.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: schedule with negative delay %d at t=%d", delay, e.now))
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time at, which must not precede Now.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at past time %d (now %d)", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil event")
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Step fires the single earliest pending event and reports whether one
+// existed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// RunUntil fires events in timestamp order until the queue is empty or the
+// next event is strictly after deadline. The clock is left at the later of
+// its current value and the last fired event (it is NOT advanced to the
+// deadline so that callers can continue running afterwards).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Drain discards all pending events without running them. Useful for
+// tearing down a simulation early.
+func (e *Engine) Drain() {
+	e.events = e.events[:0]
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock at %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("nested scheduling wrong: %v", fired)
+	}
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEnginePastSchedulePanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event did not panic")
+		}
+	}()
+	NewEngine().Schedule(0, nil)
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.Schedule(i*10, func() { count++ })
+	}
+	e.RunUntil(50)
+	if count != 5 {
+		t.Fatalf("ran %d events until t=50, want 5", count)
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("%d pending, want 5", e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("total %d events, want 10", count)
+	}
+}
+
+func TestEngineDrain(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() { t.Fatal("drained event fired") })
+	e.Drain()
+	e.Run()
+	if e.Executed() != 0 {
+		t.Fatal("executed count nonzero after drain")
+	}
+}
+
+func TestEngineMonotonicProperty(t *testing.T) {
+	// Property: however delays are chosen, observed firing times are
+	// monotonically non-decreasing.
+	check := func(delays []uint16) bool {
+		e := NewEngine()
+		var times []Time
+		for _, d := range delays {
+			e.Schedule(Time(d), func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromNS(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Time
+	}{
+		{1, 1000},
+		{13.75, 13750},
+		{146.25, 146250},
+		{0.0005, 1}, // rounds up
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := FromNS(c.ns); got != c.want {
+			t.Errorf("FromNS(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	if got := FromNS(13.75); got.NS() != 13.75 {
+		t.Errorf("roundtrip failed: %v", got.NS())
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero (xorshift fixed point)")
+	}
+}
+
+func TestRNGRangeProperties(t *testing.T) {
+	r := NewRNG(7)
+	check := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGUniformity(t *testing.T) {
+	// Coarse uniformity: 10 buckets over 100k draws should each hold
+	// 10% +/- 1.5%.
+	r := NewRNG(99)
+	var buckets [10]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, b := range buckets {
+		frac := float64(b) / n
+		if frac < 0.085 || frac > 0.115 {
+			t.Fatalf("bucket %d has fraction %.3f", i, frac)
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(5)
+	child := parent.Split()
+	// Child stream must not equal a fresh parent-seeded stream.
+	fresh := NewRNG(5)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if child.Uint64() == fresh.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatal("split stream mirrors parent seed stream")
+	}
+}

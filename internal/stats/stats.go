@@ -1,0 +1,166 @@
+// Package stats provides the derived metrics and text-table rendering the
+// experiment harness uses to regenerate the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Gmean returns the geometric mean of xs; it panics on non-positive
+// inputs because the paper's gmean columns are over positive speedups.
+func Gmean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: gmean over non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// GmeanImprovement converts per-workload speedup ratios (design IPC /
+// baseline IPC) into the paper's "performance improvement" percentage.
+func GmeanImprovement(ratios []float64) float64 {
+	return (Gmean(ratios) - 1) * 100
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percent formats a fraction as a percentage string.
+func Percent(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// Dist is a three-way access-location distribution (Figures 7c/7f/8b).
+type Dist struct {
+	RowBuffer, Fast, Slow uint64
+}
+
+// Total returns the access count.
+func (d Dist) Total() uint64 { return d.RowBuffer + d.Fast + d.Slow }
+
+// Fractions returns the normalized distribution; all zeros when empty.
+func (d Dist) Fractions() (rb, fast, slow float64) {
+	t := d.Total()
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(d.RowBuffer) / float64(t), float64(d.Fast) / float64(t), float64(d.Slow) / float64(t)
+}
+
+// FastLevelMissRatio is the fraction of row-opening accesses that landed
+// on the slow level (Figure 8b's "miss ratio of the fast level").
+func (d Dist) FastLevelMissRatio() float64 {
+	opens := d.Fast + d.Slow
+	if opens == 0 {
+		return 0
+	}
+	return float64(d.Slow) / float64(opens)
+}
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Caption string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render returns the aligned text form.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	return b.String()
+}
+
+// CSV returns the table in RFC-4180-ish CSV form (fields quoted when
+// they contain commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order (deterministic output).
+func SortedKeys[K ~string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

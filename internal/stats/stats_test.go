@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGmean(t *testing.T) {
+	if g := Gmean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("gmean(2,8) = %v", g)
+	}
+	if g := Gmean([]float64{1, 1, 1}); g != 1 {
+		t.Fatalf("gmean of ones = %v", g)
+	}
+	if g := Gmean(nil); g != 0 {
+		t.Fatalf("gmean of empty = %v", g)
+	}
+}
+
+func TestGmeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero input")
+		}
+	}()
+	Gmean([]float64{1, 0})
+}
+
+func TestGmeanImprovement(t *testing.T) {
+	// Two workloads at +10% and +21% -> gmean ratio 1.1533... -> 15.3%.
+	got := GmeanImprovement([]float64{1.10, 1.21})
+	want := (math.Sqrt(1.10*1.21) - 1) * 100
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("improvement %v, want %v", got, want)
+	}
+}
+
+func TestGmeanBetweenMinMaxProperty(t *testing.T) {
+	check := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			xs[i] = float64(v)/1000 + 0.5
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Gmean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("empty mean = %v", m)
+	}
+}
+
+func TestDist(t *testing.T) {
+	d := Dist{RowBuffer: 50, Fast: 30, Slow: 20}
+	rb, f, s := d.Fractions()
+	if rb != 0.5 || f != 0.3 || s != 0.2 {
+		t.Fatalf("fractions %v %v %v", rb, f, s)
+	}
+	if d.Total() != 100 {
+		t.Fatalf("total %d", d.Total())
+	}
+	if m := d.FastLevelMissRatio(); m != 0.4 {
+		t.Fatalf("fast-level miss ratio %v, want 0.4 (20 of 50 opens)", m)
+	}
+	var empty Dist
+	rb, f, s = empty.Fractions()
+	if rb != 0 || f != 0 || s != 0 || empty.FastLevelMissRatio() != 0 {
+		t.Fatal("empty dist must be all zeros")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta-longer", "22")
+	out := tbl.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "beta-longer") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows = 5 lines
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share the first column width.
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Fatalf("no separator:\n%s", out)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.1234) != "12.34%" {
+		t.Fatalf("percent formatting: %s", Percent(0.1234))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("sorted keys: %v", keys)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b"}}
+	tbl.AddRow("x,y", `q"z`)
+	tbl.AddRow("plain", "2")
+	got := tbl.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"z\"\nplain,2\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}

@@ -1,0 +1,141 @@
+// Package timing defines DRAM timing parameter sets.
+//
+// Parameters are expressed in DRAM command-clock cycles (tCK). The
+// reference device is DDR3-1600 (tCK = 1.25 ns), matching Table 1 of the
+// paper; the asymmetric fast-subarray set uses the CHARM-derived values
+// the paper adopts (tRCD 8.75 ns, tRC 25 ns).
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params is a complete DRAM timing parameter set in clock cycles.
+//
+// The subset modeled is the one that constrains a cycle-level
+// close/open-page simulation: activation, column access, precharge,
+// write recovery, bus turnaround, activation windows, and refresh.
+type Params struct {
+	TCK sim.Time // clock period (ps)
+
+	CL  int64 // column (read) latency, ACT-independent CAS latency
+	CWL int64 // column write latency
+	BL  int64 // burst length in beats (data bus cycles = BL/2 on DDR)
+
+	TRCD int64 // ACTIVATE -> internal READ/WRITE
+	TRAS int64 // ACTIVATE -> PRECHARGE (restore complete)
+	TRP  int64 // PRECHARGE -> ACTIVATE
+	TRC  int64 // ACTIVATE -> ACTIVATE, same bank (== tRAS + tRP)
+
+	TRTP int64 // READ -> PRECHARGE
+	TWR  int64 // end of write burst -> PRECHARGE (write recovery)
+	TWTR int64 // end of write burst -> READ, same rank
+	TCCD int64 // column command -> column command
+	TRRD int64 // ACTIVATE -> ACTIVATE, different banks same rank
+	TFAW int64 // window for at most four ACTIVATEs per rank
+	TRTR int64 // rank-to-rank data bus switch penalty
+
+	TREFI int64 // average refresh interval
+	TRFC  int64 // refresh cycle time
+}
+
+// Validate checks internal consistency of the parameter set.
+func (p *Params) Validate() error {
+	if p.TCK <= 0 {
+		return fmt.Errorf("timing: tCK must be positive, got %d", p.TCK)
+	}
+	type nn struct {
+		name string
+		v    int64
+	}
+	for _, f := range []nn{
+		{"CL", p.CL}, {"CWL", p.CWL}, {"BL", p.BL},
+		{"tRCD", p.TRCD}, {"tRAS", p.TRAS}, {"tRP", p.TRP}, {"tRC", p.TRC},
+		{"tRTP", p.TRTP}, {"tWR", p.TWR}, {"tWTR", p.TWTR}, {"tCCD", p.TCCD},
+		{"tRRD", p.TRRD}, {"tFAW", p.TFAW}, {"tREFI", p.TREFI}, {"tRFC", p.TRFC},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("timing: %s must be positive, got %d", f.name, f.v)
+		}
+	}
+	if p.TRC < p.TRAS+p.TRP {
+		return fmt.Errorf("timing: tRC (%d) < tRAS+tRP (%d)", p.TRC, p.TRAS+p.TRP)
+	}
+	if p.TFAW < p.TRRD {
+		return fmt.Errorf("timing: tFAW (%d) < tRRD (%d)", p.TFAW, p.TRRD)
+	}
+	if p.BL%2 != 0 {
+		return fmt.Errorf("timing: burst length must be even on DDR, got %d", p.BL)
+	}
+	return nil
+}
+
+// BurstCycles returns the data-bus occupancy of one burst in clock cycles.
+func (p *Params) BurstCycles() int64 { return p.BL / 2 }
+
+// ReadLatency returns cycles from READ issue to the end of the data burst.
+func (p *Params) ReadLatency() int64 { return p.CL + p.BurstCycles() }
+
+// WriteLatency returns cycles from WRITE issue to the end of the data
+// burst.
+func (p *Params) WriteLatency() int64 { return p.CWL + p.BurstCycles() }
+
+// Duration converts cycles of this parameter set to simulation time.
+func (p *Params) Duration(cycles int64) sim.Time {
+	return sim.Time(cycles) * p.TCK
+}
+
+// CyclesCeil converts a duration to cycles, rounding up.
+func (p *Params) CyclesCeil(d sim.Time) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64((d + p.TCK - 1) / p.TCK)
+}
+
+// tCK for DDR3-1600: 800 MHz command clock.
+const tCK1600 = 1250 * sim.Picosecond
+
+// DDR31600Slow returns the commodity (long bitline) parameter set of
+// Table 1: tRCD 13.75 ns, tRC 48.75 ns. Derived values follow the Samsung
+// 2Gb D-die DDR3-1600 datasheet the paper cites.
+func DDR31600Slow() Params {
+	return Params{
+		TCK: tCK1600,
+		CL:  11, CWL: 8, BL: 8,
+		TRCD: 11, // 13.75 ns
+		TRAS: 28, // 35 ns
+		TRP:  11, // 13.75 ns
+		TRC:  39, // 48.75 ns
+		TRTP: 6, TWR: 12, TWTR: 6, TCCD: 4,
+		TRRD: 5, TFAW: 24, TRTR: 2,
+		TREFI: 6240, // 7.8 us
+		TRFC:  128,  // 160 ns
+	}
+}
+
+// DDR31600Fast returns the fast-subarray (128-cell bitline) set of
+// Table 1: tRCD 8.75 ns, tRC 25 ns. Charge restore and precharge shrink
+// proportionally with the shorter bitline.
+func DDR31600Fast() Params {
+	p := DDR31600Slow()
+	p.TRCD = 7  // 8.75 ns
+	p.TRAS = 13 // 16.25 ns (tRC - tRP)
+	p.TRP = 7   // 8.75 ns
+	p.TRC = 20  // 25 ns
+	p.TRTP = 4
+	p.TWR = 9
+	return p
+}
+
+// DDR31600CHARMFast returns the CHARM variant of the fast set: shorter
+// column access path on the fast level, modeled as CL/CWL reduced by two
+// cycles (Son et al., ISCA 2013).
+func DDR31600CHARMFast() Params {
+	p := DDR31600Fast()
+	p.CL -= 2
+	p.CWL -= 2
+	return p
+}

@@ -1,0 +1,104 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTable1SlowValues(t *testing.T) {
+	p := DDR31600Slow()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: tRCD 13.75 ns, tRC 48.75 ns at tCK = 1.25 ns.
+	if got := p.Duration(p.TRCD); got != sim.FromNS(13.75) {
+		t.Errorf("tRCD = %v ps, want 13750", got)
+	}
+	if got := p.Duration(p.TRC); got != sim.FromNS(48.75) {
+		t.Errorf("tRC = %v ps, want 48750", got)
+	}
+	if p.TRC != p.TRAS+p.TRP {
+		t.Errorf("tRC (%d) != tRAS+tRP (%d)", p.TRC, p.TRAS+p.TRP)
+	}
+}
+
+func TestTable1FastValues(t *testing.T) {
+	p := DDR31600Fast()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: tRCD 8.75 ns, tRC 25 ns.
+	if got := p.Duration(p.TRCD); got != sim.FromNS(8.75) {
+		t.Errorf("fast tRCD = %v ps, want 8750", got)
+	}
+	if got := p.Duration(p.TRC); got != sim.FromNS(25) {
+		t.Errorf("fast tRC = %v ps, want 25000", got)
+	}
+}
+
+func TestFastStrictlyFaster(t *testing.T) {
+	s, f := DDR31600Slow(), DDR31600Fast()
+	if f.TRCD >= s.TRCD || f.TRAS >= s.TRAS || f.TRP >= s.TRP || f.TRC >= s.TRC {
+		t.Fatal("fast set not strictly faster than slow set")
+	}
+	if f.TCK != s.TCK {
+		t.Fatal("fast and slow sets must share the command clock")
+	}
+}
+
+func TestCHARMFastReducesColumnLatency(t *testing.T) {
+	f, c := DDR31600Fast(), DDR31600CHARMFast()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.CL >= f.CL || c.CWL >= f.CWL {
+		t.Fatal("CHARM set must reduce CL/CWL")
+	}
+	if c.TRCD != f.TRCD || c.TRC != f.TRC {
+		t.Fatal("CHARM set must keep the fast row timings")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := func(mutate func(*Params)) {
+		t.Helper()
+		p := DDR31600Slow()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Error("invalid params accepted")
+		}
+	}
+	bad(func(p *Params) { p.TCK = 0 })
+	bad(func(p *Params) { p.CL = 0 })
+	bad(func(p *Params) { p.TRC = p.TRAS }) // tRC < tRAS + tRP
+	bad(func(p *Params) { p.TFAW = p.TRRD - 1 })
+	bad(func(p *Params) { p.BL = 7 })
+	bad(func(p *Params) { p.TREFI = -1 })
+}
+
+func TestDerivedLatencies(t *testing.T) {
+	p := DDR31600Slow()
+	if p.BurstCycles() != 4 {
+		t.Errorf("BL8 burst = %d cycles, want 4", p.BurstCycles())
+	}
+	if p.ReadLatency() != p.CL+4 {
+		t.Errorf("read latency = %d", p.ReadLatency())
+	}
+	if p.WriteLatency() != p.CWL+4 {
+		t.Errorf("write latency = %d", p.WriteLatency())
+	}
+}
+
+func TestCyclesCeil(t *testing.T) {
+	p := DDR31600Slow()
+	if p.CyclesCeil(0) != 0 {
+		t.Error("zero duration should be zero cycles")
+	}
+	if p.CyclesCeil(1) != 1 {
+		t.Error("1 ps must round up to 1 cycle")
+	}
+	if p.CyclesCeil(p.TCK) != 1 || p.CyclesCeil(p.TCK+1) != 2 {
+		t.Error("exact/over boundary rounding wrong")
+	}
+}

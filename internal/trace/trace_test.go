@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func roundtrip(t *testing.T, instrs []workload.Instr) []workload.Instr {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range instrs {
+		if err := w.Append(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []workload.Instr
+	var in workload.Instr
+	for {
+		err := r.Next(&in)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func TestRoundtripBasic(t *testing.T) {
+	instrs := []workload.Instr{
+		{},
+		{Mem: true, Addr: 0x1000},
+		{},
+		{},
+		{Mem: true, Write: true, Addr: 0x2040},
+		{Mem: true, Dependent: true, Addr: 0x8},
+		{},
+	}
+	got := roundtrip(t, instrs)
+	if len(got) != len(instrs) {
+		t.Fatalf("roundtrip length %d, want %d", len(got), len(instrs))
+	}
+	for i := range instrs {
+		if got[i] != instrs[i] {
+			t.Fatalf("instr %d: got %+v, want %+v", i, got[i], instrs[i])
+		}
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	check := func(addrs []uint32, flags []uint8) bool {
+		var instrs []workload.Instr
+		for i, a := range addrs {
+			f := uint8(0)
+			if i < len(flags) {
+				f = flags[i]
+			}
+			in := workload.Instr{}
+			if f&1 != 0 {
+				in.Mem = true
+				in.Addr = uint64(a)
+				in.Write = f&2 != 0
+				in.Dependent = f&4 != 0 && !in.Write
+			}
+			instrs = append(instrs, in)
+		}
+		got := roundtrip(t, instrs)
+		if len(got) != len(instrs) {
+			return false
+		}
+		for i := range instrs {
+			if got[i] != instrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE-----"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestGapRunLengthEncoding(t *testing.T) {
+	// 1000 non-memory instructions + 1 memory op should encode in a few
+	// bytes, proving run-length compression works.
+	var instrs []workload.Instr
+	for i := 0; i < 1000; i++ {
+		instrs = append(instrs, workload.Instr{})
+	}
+	instrs = append(instrs, workload.Instr{Mem: true, Addr: 42})
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, in := range instrs {
+		if err := w.Append(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	if buf.Len() > 32 {
+		t.Fatalf("1001 instructions took %d bytes; gap RLE broken", buf.Len())
+	}
+	got := roundtrip(t, instrs)
+	if len(got) != 1001 || !got[1000].Mem || got[1000].Addr != 42 {
+		t.Fatal("gap roundtrip wrong")
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	instrs := []workload.Instr{
+		{Mem: true, Addr: 1 << 6},
+		{},
+		{Mem: true, Write: true, Addr: 2 << 6},
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, in := range instrs {
+		w.Append(in)
+	}
+	w.Flush()
+	rep, err := NewReplayer("loop", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 3 || rep.Name() != "loop" {
+		t.Fatalf("replayer len %d name %s", rep.Len(), rep.Name())
+	}
+	var in workload.Instr
+	for i := 0; i < 7; i++ {
+		rep.Next(&in)
+		if in != instrs[i%3] {
+			t.Fatalf("replay %d: %+v", i, in)
+		}
+	}
+	if rep.Loops != 2 {
+		t.Fatalf("loops = %d, want 2", rep.Loops)
+	}
+}
+
+func TestEmptyTraceRejectedByReplayer(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	if _, err := NewReplayer("empty", &buf); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestCaptureFromGenerator(t *testing.T) {
+	p := workload.Profile{
+		Name: "cap", MemFraction: 0.4, WriteFraction: 0.2,
+		FootprintBytes: 4 << 20, LocalWeight: 0.5, StreamWeight: 0.5,
+	}
+	gen, err := workload.NewSynthetic(p, workload.Region{Base: 0, Bytes: 8 << 20}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Capture(gen, 10000, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplayer("cap", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 10000 {
+		t.Fatalf("captured %d instructions, want 10000", rep.Len())
+	}
+	// The replay must equal a fresh generator's stream.
+	fresh, _ := workload.NewSynthetic(p, workload.Region{Base: 0, Bytes: 8 << 20}, 1)
+	var a, b workload.Instr
+	for i := 0; i < 10000; i++ {
+		rep.Next(&a)
+		fresh.Next(&b)
+		if a != b {
+			t.Fatalf("replay diverges at %d", i)
+		}
+	}
+}
+
+func TestTruncatedTraceErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Append(workload.Instr{Mem: true, Addr: 0x123456789})
+	w.Flush()
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in workload.Instr
+	if err := r.Next(&in); err == nil {
+		t.Fatal("truncated record read successfully")
+	}
+}
