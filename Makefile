@@ -1,0 +1,24 @@
+# Tier-1 gate (what the roadmap requires to stay green):
+#   make test
+# Tier-1+ gate (pre-merge: adds vet, the race detector, and a fault-
+# injection smoke run of the management path):
+#   make check
+
+GO ?= go
+
+.PHONY: build test check vet clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+check:
+	sh scripts/check.sh
+
+clean:
+	$(GO) clean ./...

@@ -28,7 +28,7 @@ func main() {
 	log.SetPrefix("dasbench: ")
 
 	var (
-		figs     = flag.String("fig", "tables", "comma-separated figures: 7a,7b,7c,7d,7e,7f,8,9a,9b,9c,9d,power,area,table1,table2,all,tables")
+		figs     = flag.String("fig", "tables", "comma-separated figures: 7a,7b,7c,7d,7e,7f,8,9a,9b,9c,9d,power,area,table1,table2,faults,all,tables")
 		instr    = flag.Uint64("instr", 0, "instructions per core (0 = config default)")
 		cfgPath  = flag.String("config", "", "JSON config file (default: episode-scaled Table 1)")
 		fullScal = flag.Bool("full-scale", false, "use the full 8 GB Table 1 memory instead of the episode-scaled 1 GB")
@@ -37,6 +37,16 @@ func main() {
 		csvDir   = flag.String("csv-dir", "", "also write each figure's tables as CSV files into this directory")
 		benchSel = flag.String("benchmarks", "", "comma-separated benchmark subset for single-programmed figures")
 		mixSel   = flag.String("mixes", "", "comma-separated mix subset (M1..M8) for multi-programmed figures")
+
+		// Fault injection (DAS management path; all rates zero = perfect
+		// device). The -fig faults sweep varies these itself.
+		faultWeak    = flag.Float64("fault-weak", 0, "fraction of fast-subarray rows that are weak (served at slow timing, never promoted into)")
+		faultMigFail = flag.Float64("fault-migfail", 0, "probability an in-flight migration fails and is retried")
+		faultTag     = flag.Float64("fault-tag", 0, "probability a tag-cache hit is parity-corrupt and re-fetched")
+		faultTable   = flag.Float64("fault-table", 0, "probability a fetched table block fails ECC and is re-fetched")
+		faultRetries = flag.Int("fault-retries", -1, "failed-migration retries before pinning the row slow (-1 = config default)")
+		faultSeed    = flag.Uint64("fault-seed", 0, "fault-stream seed (0 = derive from workload seed)")
+		invariants   = flag.Bool("invariants", true, "verify management invariants after every committed swap")
 	)
 	flag.Parse()
 
@@ -57,6 +67,17 @@ func main() {
 	if *seed > 0 {
 		cfg.Seed = *seed
 	}
+	cfg.WeakRowRate = *faultWeak
+	cfg.MigFailRate = *faultMigFail
+	cfg.TagCorruptRate = *faultTag
+	cfg.TableCorruptRate = *faultTable
+	if *faultRetries >= 0 {
+		cfg.MigRetries = *faultRetries
+	}
+	if *faultSeed > 0 {
+		cfg.FaultSeed = *faultSeed
+	}
+	cfg.CheckInvariants = *invariants
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -155,6 +176,8 @@ func dispatch(s *exp.Session, cfg config.Config, name string) (*exp.Figure, erro
 		return s.Fig9d()
 	case "power":
 		return s.PowerFigure()
+	case "faults":
+		return s.FaultSweep()
 	default:
 		return nil, fmt.Errorf("unknown figure %q", name)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/timing"
 )
@@ -68,6 +69,17 @@ type Config struct {
 	InstrPerCore uint64  `json:"instr_per_core"`
 	WarmupFrac   float64 `json:"warmup_frac"`
 	Seed         uint64  `json:"seed"`
+
+	// Fault injection and robustness (all rates zero = perfect device;
+	// see DESIGN.md "Fault model and degradation").
+	FaultSeed        uint64  `json:"fault_seed"`
+	WeakRowRate      float64 `json:"fault_weak_row_rate"`
+	MigFailRate      float64 `json:"fault_mig_fail_rate"`
+	MigRetries       int     `json:"fault_mig_retries"`
+	TagCorruptRate   float64 `json:"fault_tag_corrupt_rate"`
+	TableCorruptRate float64 `json:"fault_table_corrupt_rate"`
+	// CheckInvariants enables the per-swap runtime invariant checker.
+	CheckInvariants bool `json:"check_invariants"`
 }
 
 // Default returns the full-scale Table 1 system: 8 GB of DDR3-1600 on
@@ -87,6 +99,7 @@ func Default() Config {
 		FilterThreshold: 1, FilterCounters: 1024,
 		Replacement:  "lru",
 		InstrPerCore: 10_000_000, WarmupFrac: 0.2, Seed: 42,
+		MigRetries: 3, CheckInvariants: true,
 	}
 }
 
@@ -122,10 +135,34 @@ func (c *Config) Validate() error {
 	if _, err := core.ParseReplacement(c.Replacement); err != nil {
 		return err
 	}
+	fc := c.FaultConfig()
+	if err := fc.Validate(); err != nil {
+		return err
+	}
+	if c.MigRetries < 0 {
+		return fmt.Errorf("config: fault_mig_retries must be non-negative")
+	}
 	if err := c.Geometry().Validate(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// FaultConfig returns the fault-injection configuration. A zero
+// FaultSeed derives the fault stream from the workload seed (offset so
+// the two streams differ even when both defaults are in play).
+func (c *Config) FaultConfig() fault.Config {
+	seed := c.FaultSeed
+	if seed == 0 {
+		seed = c.Seed ^ 0xFA017FA017FA0175
+	}
+	return fault.Config{
+		Seed:             seed,
+		WeakRowRate:      c.WeakRowRate,
+		MigFailRate:      c.MigFailRate,
+		TagCorruptRate:   c.TagCorruptRate,
+		TableCorruptRate: c.TableCorruptRate,
+	}
 }
 
 // Geometry returns the DRAM organization.
@@ -171,6 +208,7 @@ func (c *Config) ManagerConfig(design core.Design) (core.Config, error) {
 		FilterCounters:  c.FilterCounters,
 		Replacement:     repl,
 		Seed:            c.Seed,
+		MigRetries:      c.MigRetries,
 	}, nil
 }
 

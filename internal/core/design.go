@@ -92,6 +92,10 @@ type Config struct {
 	Replacement Replacement
 	// Seed feeds the random replacement policy.
 	Seed uint64
+	// MigRetries is how many times a failed migration is retried before
+	// the row is pinned in the slow level (fault handling; irrelevant on
+	// a fault-free device).
+	MigRetries int
 }
 
 // DefaultConfig returns the paper's final configuration: 1/8 fast level,
@@ -108,6 +112,7 @@ func DefaultConfig(d Design) Config {
 		FilterCounters:  1024,
 		Replacement:     ReplLRU,
 		Seed:            1,
+		MigRetries:      3,
 	}
 }
 
@@ -124,6 +129,9 @@ func (c *Config) Validate() error {
 	}
 	if c.FilterThreshold < 1 || c.FilterCounters <= 0 {
 		return fmt.Errorf("core: filter parameters invalid")
+	}
+	if c.MigRetries < 0 {
+		return fmt.Errorf("core: migration retries must be non-negative, got %d", c.MigRetries)
 	}
 	return nil
 }

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/mem"
+)
+
+// faultyHarness is a DAS harness with an injector and the invariant
+// checker armed, as a fault-sweep run would configure it.
+func faultyHarness(t *testing.T, design Design, migLatNS float64, fc fault.Config) *harness {
+	t.Helper()
+	h := newHarness(t, design, migLatNS)
+	inj, err := fault.NewInjector(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mgr.SetFaults(inj)
+	h.mgr.EnableInvariantChecks()
+	return h
+}
+
+// drive issues a sequence of demand reads (row ids from seq) and settles
+// migrations, returning the manager's first recorded failure.
+func (h *harness) drive(t *testing.T, seq []byte) error {
+	t.Helper()
+	geom := h.dev.Geometry()
+	for _, b := range seq {
+		// Stay below the reserved translation-table rows at the top.
+		row := uint64(b) % (geom.TotalRows() - uint64(TableReserveBytes(geom)/geom.RowBytes()))
+		done := false
+		h.mgr.Access(&mem.Request{Addr: geom.Encode(geom.RowCoord(row)), Core: 0, Issued: h.eng.Now(), Done: func() { done = true }})
+		for !done {
+			if !h.eng.Step() {
+				t.Fatal("engine drained mid-read")
+			}
+			if err := h.mgr.Err(); err != nil {
+				return err
+			}
+		}
+		h.settle()
+	}
+	return h.mgr.Err()
+}
+
+// TestInvariantsHoldUnderRandomFaults drives random access sequences
+// through DAS and DASFM with every fault class active. Property: no
+// sequence of migrations, failures, retries, pinnings, and corruptions
+// ever violates row conservation or translation coherence.
+func TestInvariantsHoldUnderRandomFaults(t *testing.T) {
+	fc := fault.Config{
+		Seed:             99,
+		WeakRowRate:      0.25,
+		MigFailRate:      0.4,
+		TagCorruptRate:   0.15,
+		TableCorruptRate: 0.15,
+	}
+	for _, design := range []Design{DAS, DASFM} {
+		design := design
+		check := func(seq []byte) bool {
+			h := faultyHarness(t, design, 146.25, fc)
+			if err := h.drive(t, seq); err != nil {
+				t.Logf("%v: manager failed: %v", design, err)
+				return false
+			}
+			if err := h.mgr.CheckInvariants(); err != nil {
+				t.Logf("%v: %v", design, err)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("%v: %v", design, err)
+		}
+	}
+}
+
+// TestFencedGroupNeverPromoted fences every group (weak rate 1): no
+// access sequence may commit a promotion, and every group's permutation
+// must remain the identity.
+func TestFencedGroupNeverPromoted(t *testing.T) {
+	check := func(seq []byte) bool {
+		h := faultyHarness(t, DASFM, 0, fault.Config{Seed: 7, WeakRowRate: 1})
+		if err := h.drive(t, seq); err != nil {
+			t.Log(err)
+			return false
+		}
+		if h.mgr.Stats.Promotions != 0 {
+			t.Logf("fenced groups received %d promotions", h.mgr.Stats.Promotions)
+			return false
+		}
+		return h.mgr.CheckInvariants() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPinnedRowStaysSlow abandons every migration (fail rate 1, zero
+// retries): promoted-then-failed rows are pinned and never re-enter the
+// fast subarray.
+func TestPinnedRowStaysSlow(t *testing.T) {
+	h := newHarness(t, DAS, 146.25)
+	inj, err := fault.NewInjector(fault.Config{Seed: 3, MigFailRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mgr.cfg.MigRetries = 0
+	h.mgr.SetFaults(inj)
+	h.mgr.EnableInvariantChecks()
+	geom := h.dev.Geometry()
+	addr := geom.Encode(geom.RowCoord(8)) // slow slot of group 0
+	for i := 0; i < 4; i++ {
+		done := false
+		h.mgr.Access(&mem.Request{Addr: addr, Core: 0, Issued: h.eng.Now(), Done: func() { done = true }})
+		for !done && h.eng.Step() {
+		}
+		h.settle()
+	}
+	if h.mgr.Stats.Promotions != 0 {
+		t.Fatalf("abandoned migrations committed: %d promotions", h.mgr.Stats.Promotions)
+	}
+	if h.mgr.Stats.Faults.PinnedRows != 1 {
+		t.Fatalf("pinned rows = %d, want 1", h.mgr.Stats.Faults.PinnedRows)
+	}
+	if _, fast, _ := h.mgr.PhysicalRow(8); fast {
+		t.Fatal("pinned row mapped fast")
+	}
+	if err := h.mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption corrupts manager state directly
+// and verifies each invariant class is caught with a structured error.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	group0 := func(h *harness) *group {
+		geom := h.dev.Geometry()
+		// Touch a row so group 0 is allocated.
+		h.read(t, geom.Encode(geom.RowCoord(0)))
+		return h.mgr.groups[0]
+	}
+	cases := []struct {
+		kind    string
+		corrupt func(h *harness, g *group)
+	}{
+		{"perm-range", func(h *harness, g *group) { g.perm[3] = 200 }},
+		{"row-conservation", func(h *harness, g *group) { g.perm[4] = g.perm[3] }},
+		{"perm-inverse", func(h *harness, g *group) { g.inv[3], g.inv[4] = g.inv[4], g.inv[3] }},
+		{"pinned-fast", func(h *harness, g *group) { g.pin(0) }}, // slot 0 is fast
+		{"fenced-promotion", func(h *harness, g *group) {
+			g.swap(8, 0)
+			g.fenced, g.fencedKnown = true, true
+		}},
+	}
+	for _, tc := range cases {
+		h := newHarness(t, DAS, 0)
+		g := group0(h)
+		if err := h.mgr.CheckInvariants(); err != nil {
+			t.Fatalf("%s: clean state flagged: %v", tc.kind, err)
+		}
+		tc.corrupt(h, g)
+		err := h.mgr.CheckInvariants()
+		var ie *InvariantError
+		if !errors.As(err, &ie) {
+			t.Fatalf("%s: corruption not detected (err=%v)", tc.kind, err)
+		}
+		if ie.Kind != tc.kind {
+			t.Fatalf("detected %q, want %q (%v)", ie.Kind, tc.kind, err)
+		}
+	}
+}
+
+// TestInvariantViolationFailsRun verifies the checker is live on the
+// commit path: corrupting a group mid-run surfaces as a manager error at
+// the next committed swap rather than silently corrupting results.
+func TestInvariantViolationFailsRun(t *testing.T) {
+	h := newHarness(t, DASFM, 0)
+	h.mgr.EnableInvariantChecks()
+	geom := h.dev.Geometry()
+	h.read(t, geom.Encode(geom.RowCoord(8))) // allocate + promote in group 0
+	if h.mgr.Err() != nil {
+		t.Fatalf("clean promotion flagged: %v", h.mgr.Err())
+	}
+	// Sabotage the inverse map, then force another promotion in group 0.
+	g := h.mgr.groups[0]
+	g.inv[0], g.inv[1] = g.inv[1], g.inv[0]
+	done := false
+	h.mgr.Access(&mem.Request{Addr: geom.Encode(geom.RowCoord(9)), Core: 0, Issued: h.eng.Now(), Done: func() { done = true }})
+	for !done && h.eng.Step() {
+	}
+	var ie *InvariantError
+	if err := h.mgr.Err(); !errors.As(err, &ie) {
+		t.Fatalf("corrupted commit not caught: %v", err)
+	}
+}
+
+// TestWeakRowsServedSlow verifies a weak fast row is derated: demand
+// reads of fast-resident rows are sensed at slow timing when weak.
+func TestWeakRowsServedSlow(t *testing.T) {
+	h := faultyHarness(t, DAS, 0, fault.Config{Seed: 5, WeakRowRate: 1})
+	geom := h.dev.Geometry()
+	// Logical row 0 sits in fast slot 0 (identity map) but the slot is weak.
+	h.read(t, geom.Encode(geom.RowCoord(0)))
+	if s := h.dev.CollectStats(); s.ActivatesFast != 0 {
+		t.Fatalf("weak fast row sensed at fast timing (%d fast activates)", s.ActivatesFast)
+	}
+	if h.mgr.Stats.Faults.WeakServices == 0 {
+		t.Fatal("weak service not counted")
+	}
+}

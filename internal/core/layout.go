@@ -98,7 +98,31 @@ type group struct {
 	seq int
 	// migrating blocks concurrent promotions within the group.
 	migrating bool
+
+	// Degradation state (fault handling; all zero on a healthy device).
+	//
+	// fenced marks a group whose fast slots are all weak: it degrades to
+	// slow-only service and never receives a promotion. fencedKnown
+	// makes the (injector-queried) decision lazy but computed once.
+	fenced, fencedKnown bool
+	// pinned marks logical slots whose migrations exhausted their
+	// retries; a pinned row stays in the slow level permanently.
+	// Allocated on first pin.
+	pinned []bool
+	// retries counts failed attempts of the in-flight migration.
+	retries int
 }
+
+// pin marks logical slot l as permanently slow.
+func (g *group) pin(l int) {
+	if g.pinned == nil {
+		g.pinned = make([]bool, len(g.perm))
+	}
+	g.pinned[l] = true
+}
+
+// isPinned reports whether logical slot l is pinned slow.
+func (g *group) isPinned(l int) bool { return g.pinned != nil && g.pinned[l] }
 
 func newGroup(size, fastSlots int) *group {
 	g := &group{

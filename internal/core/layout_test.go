@@ -133,27 +133,52 @@ func TestVictimPickerPolicies(t *testing.T) {
 	// LRU: stamp slots with distinct times; slot 2 oldest.
 	g.lastUse = []sim.Time{40, 30, 10, 20}
 	lru := &victimPicker{policy: ReplLRU}
-	if v := lru.pick(g, 4); v != 2 {
+	if v := lru.pick(g, 4, nil); v != 2 {
 		t.Fatalf("LRU picked %d, want 2", v)
 	}
 	// Sequential cycles 0,1,2,3,0.
 	seq := &victimPicker{policy: ReplSequential}
 	for i, want := range []int{0, 1, 2, 3, 0} {
-		if v := seq.pick(g, 4); v != want {
+		if v := seq.pick(g, 4, nil); v != want {
 			t.Fatalf("sequential pick %d = %d, want %d", i, v, want)
 		}
 	}
 	// Global counter cycles independent of group state.
 	ctr := &victimPicker{policy: ReplGlobalCounter}
-	a, b := ctr.pick(g, 4), ctr.pick(g, 4)
+	a, b := ctr.pick(g, 4, nil), ctr.pick(g, 4, nil)
 	if a == b {
 		t.Fatalf("counter picks repeated: %d %d", a, b)
 	}
 	// Random stays in range.
 	rnd := &victimPicker{policy: ReplRandom, rng: sim.NewRNG(1)}
 	for i := 0; i < 100; i++ {
-		if v := rnd.pick(g, 4); v < 0 || v >= 4 {
+		if v := rnd.pick(g, 4, nil); v < 0 || v >= 4 {
 			t.Fatalf("random out of range: %d", v)
+		}
+	}
+}
+
+func TestVictimPickerUsableMask(t *testing.T) {
+	// Only slot 1 is usable: every policy must return it.
+	onlyOne := func(p int) bool { return p == 1 }
+	g := newGroup(32, 4)
+	g.lastUse = []sim.Time{10, 40, 20, 30} // LRU would pick 0 unmasked
+	for _, pol := range []Replacement{ReplLRU, ReplRandom, ReplSequential, ReplGlobalCounter} {
+		v := &victimPicker{policy: pol, rng: sim.NewRNG(1)}
+		for i := 0; i < 8; i++ {
+			if got := v.pick(g, 4, onlyOne); got != 1 {
+				t.Fatalf("%v picked masked slot %d", pol, got)
+			}
+		}
+	}
+	// A partial mask never returns an excluded slot.
+	noWeak := func(p int) bool { return p != 2 }
+	for _, pol := range []Replacement{ReplLRU, ReplRandom, ReplSequential, ReplGlobalCounter} {
+		v := &victimPicker{policy: pol, rng: sim.NewRNG(7)}
+		for i := 0; i < 100; i++ {
+			if got := v.pick(g, 4, noWeak); got == 2 || got < 0 || got >= 4 {
+				t.Fatalf("%v picked unusable slot %d", pol, got)
+			}
 		}
 	}
 }

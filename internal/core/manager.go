@@ -4,10 +4,39 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/mc"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
+
+// FaultStats counts degradation activity on a faulty device (all zero
+// when no fault injector is attached).
+type FaultStats struct {
+	// MigFailures counts migrations that failed at completion.
+	MigFailures uint64
+	// MigRetries counts re-issued migrations after a failure.
+	MigRetries uint64
+	// PinnedRows counts rows pinned to the slow level after exhausting
+	// their migration retries.
+	PinnedRows uint64
+	// FencedGroups counts migration groups fenced out of promotion
+	// because every fast slot is weak.
+	FencedGroups uint64
+	// WeakServices counts demand accesses to weak fast rows, derated to
+	// slow timing.
+	WeakServices uint64
+	// TagCorruptions counts tag-cache hits discarded on a parity fault.
+	TagCorruptions uint64
+	// TableRefetches counts translation-table blocks re-fetched after a
+	// failed ECC check.
+	TableRefetches uint64
+	// MigBreakerTrips counts trips of the migration circuit breaker
+	// (0 or 1 per system): after migBreakerThreshold consecutive
+	// abandoned swaps with no success in between, the migration lane is
+	// treated as broken and promotion stops device-wide.
+	MigBreakerTrips uint64
+}
 
 // Stats counts management activity over the measurement window.
 type Stats struct {
@@ -23,6 +52,8 @@ type Stats struct {
 	TableFetches uint64
 	// TableWrites counts translation-table update writes.
 	TableWrites uint64
+	// Faults aggregates fault-handling activity.
+	Faults FaultStats
 }
 
 // Manager is the DAS-DRAM management unit: it translates LLC-miss traffic
@@ -51,6 +82,23 @@ type Manager struct {
 	// pendingTag maps a table block index to data requests waiting on
 	// its fetch.
 	pendingTag map[uint64][]*mem.Request
+
+	// faults, when non-nil, injects device faults into the management
+	// path; checkInv enables the per-swap invariant checker.
+	faults   *fault.Injector
+	checkInv bool
+	// tableRetries counts consecutive corrupt fetches per in-flight
+	// table block (allocated lazily, entries removed on acceptance).
+	tableRetries map[uint64]int
+	// consecAbandoned counts migrations abandoned (row pinned) since the
+	// last successful commit; migBreaker latches once it reaches
+	// migBreakerThreshold, disabling promotion device-wide so a broken
+	// migration lane stops costing bank time.
+	consecAbandoned int
+	migBreaker      bool
+	// err records the first structured failure (invariant violation or
+	// configuration misuse detected mid-run); see Err.
+	err error
 
 	Stats Stats
 }
@@ -100,8 +148,54 @@ func NewManager(cfg Config, eng *sim.Engine, ctl *mc.Controller, cores int) (*Ma
 
 // SetLLC attaches the last-level cache used for translation-table
 // lookups. Must be called before any DAS-mode access (the LLC is built
-// after the manager because the manager is the LLC's lower level).
+// after the manager because the manager is the LLC's lower level);
+// CheckReady verifies the wiring.
 func (m *Manager) SetLLC(llc mem.Component) { m.llc = llc }
+
+// CheckReady validates run-time wiring that the constructor cannot see
+// (the LLC is built after the manager). Call it once assembly is
+// complete, before driving traffic.
+func (m *Manager) CheckReady() error {
+	if m.cfg.Design.Dynamic() && m.llc == nil {
+		return fmt.Errorf("core: %v requires an attached LLC for translation lookups (call SetLLC)", m.cfg.Design)
+	}
+	if m.cfg.Design.Static() && m.static == nil {
+		return fmt.Errorf("core: %v requires a static assignment (call SetStaticAssignment)", m.cfg.Design)
+	}
+	return nil
+}
+
+// SetFaults attaches a fault injector. Must be set before traffic;
+// a nil injector (the default) models a perfect device and leaves the
+// management path byte-identical to a build without fault support.
+func (m *Manager) SetFaults(inj *fault.Injector) {
+	m.faults = inj
+	if inj != nil && m.cfg.Design.Dynamic() {
+		m.tableRetries = make(map[uint64]int)
+	}
+}
+
+// Faults returns the attached injector (nil when none).
+func (m *Manager) Faults() *fault.Injector { return m.faults }
+
+// EnableInvariantChecks turns on the per-swap invariant checker: after
+// every committed promotion the affected group's translation state is
+// verified (see CheckInvariants) and the first violation is recorded as
+// a structured error retrievable via Err.
+func (m *Manager) EnableInvariantChecks() { m.checkInv = true }
+
+// Err returns the first structured failure recorded during the run:
+// an *InvariantError from the checker, or a configuration-misuse error
+// detected on the access path. A non-nil value means subsequent results
+// are untrustworthy and the run should be aborted.
+func (m *Manager) Err() error { return m.err }
+
+// fail records the first structured failure.
+func (m *Manager) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
 
 // SetStaticAssignment installs the profiled fast-row set (SAS/CHARM).
 func (m *Manager) SetStaticAssignment(a *StaticAssignment) { m.static = a }
@@ -129,10 +223,15 @@ func (m *Manager) UsableBytes() uint64 { return m.tableBase }
 // TableBase returns the first byte of the reserved table region.
 func (m *Manager) TableBase() uint64 { return m.tableBase }
 
-// ResetStats zeroes management statistics (warm-up boundary).
+// ResetStats zeroes management statistics (warm-up boundary). Fault
+// counters are preserved: they record the device's one-time degradation
+// adaptation (pinning, fencing, breaker trips), which is concentrated
+// in warm-up and would vanish from a window-scoped report.
 func (m *Manager) ResetStats() {
 	perCore := m.Stats.PerCorePromotions
+	faults := m.Stats.Faults
 	m.Stats = Stats{}
+	m.Stats.Faults = faults
 	if perCore != nil {
 		for i := range perCore {
 			perCore[i] = 0
@@ -175,8 +274,15 @@ func (m *Manager) Access(req *mem.Request) {
 		m.enqueue(req, coord, cls, rowID, false)
 	default: // DAS, DASFM
 		if m.tagCache.Lookup(rowID) {
-			m.translateAndEnqueue(req, coord, rowID)
-			return
+			if m.faults == nil || !m.faults.TagEntryCorrupt() {
+				m.translateAndEnqueue(req, coord, rowID)
+				return
+			}
+			// Parity fault on the cached entry: drop it and fall through
+			// to the miss path so the entry is re-fetched through the LLC
+			// instead of misdirecting the request.
+			m.Stats.Faults.TagCorruptions++
+			m.tagCache.Invalidate(rowID)
 		}
 		block := m.tableBlock(rowID)
 		if waiters, inFlight := m.pendingTag[block]; inFlight {
@@ -196,9 +302,19 @@ func (m *Manager) tableBlockAddr(block uint64) uint64 { return m.tableBase + blo
 
 // fetchTableBlock reads a translation-table block through the LLC; on a
 // further miss the LLC fills it from DRAM via this manager (Meta path).
+// Missing wiring (no LLC in a dynamic design) is a configuration error:
+// it is recorded via fail so the run aborts with a diagnosable cause,
+// and the waiters are served identity-mapped from the slow level so the
+// requests complete instead of hanging. CheckReady catches this at
+// assembly time; this path is the run-time backstop.
 func (m *Manager) fetchTableBlock(block uint64) {
 	if m.llc == nil {
-		panic("core: manager used in DAS mode without SetLLC")
+		m.fail(fmt.Errorf("core: %v translation fetch with no LLC attached (SetLLC not called)", m.cfg.Design))
+		for _, req := range m.pendingTag[block] {
+			m.enqueue(req, m.geom.Decode(req.Addr), dram.RowSlow, 0, false)
+		}
+		delete(m.pendingTag, block)
+		return
 	}
 	m.Stats.TableFetches++
 	m.llc.Access(&mem.Request{
@@ -210,9 +326,34 @@ func (m *Manager) fetchTableBlock(block uint64) {
 	})
 }
 
+// maxTableRefetches bounds consecutive ECC re-fetches of one table
+// block: after this many corrupt arrivals the entry is accepted as
+// corrected (real controllers fall back to stronger correction or a
+// scrub), guaranteeing forward progress even at corruption rate 1.
+const maxTableRefetches = 4
+
+// migBreakerThreshold is how many consecutive abandoned migrations
+// (each already MigRetries failures deep, with no success in between)
+// trip the device-wide migration circuit breaker. At the default 3
+// retries a single trip needs 64 back-to-back failures — vanishingly
+// unlikely unless the lane itself is broken, in which case continuing
+// to retry only burns bank time for rows that will be pinned anyway.
+const migBreakerThreshold = 16
+
 // tableBlockArrived installs the fetched rows' entries and releases
-// waiters.
+// waiters. A block that fails its ECC check is re-fetched through the
+// LLC path (bounded by maxTableRefetches) rather than installed, so a
+// corrupt translation never misdirects a request.
 func (m *Manager) tableBlockArrived(block uint64) {
+	if m.faults != nil {
+		if m.faults.TableBlockCorrupt() && m.tableRetries[block] < maxTableRefetches {
+			m.tableRetries[block]++
+			m.Stats.Faults.TableRefetches++
+			m.fetchTableBlock(block)
+			return
+		}
+		delete(m.tableRetries, block)
+	}
 	waiters := m.pendingTag[block]
 	delete(m.pendingTag, block)
 	for _, req := range waiters {
@@ -221,6 +362,29 @@ func (m *Manager) tableBlockArrived(block uint64) {
 		m.tagCache.Insert(rowID)
 		m.translateAndEnqueue(req, coord, rowID)
 	}
+}
+
+// PendingTranslations reports data requests currently waiting on
+// table-block fetches (watchdog diagnostics).
+func (m *Manager) PendingTranslations() int {
+	n := 0
+	for _, waiters := range m.pendingTag {
+		n += len(waiters)
+	}
+	return n
+}
+
+// DescribePending renders the in-flight translation fetches (watchdog
+// stall reports).
+func (m *Manager) DescribePending() string {
+	if len(m.pendingTag) == 0 {
+		return ""
+	}
+	out := fmt.Sprintf("manager: %d table block(s) in flight:", len(m.pendingTag))
+	for block, waiters := range m.pendingTag {
+		out += fmt.Sprintf(" block %d (%d waiters)", block, len(waiters))
+	}
+	return out + "\n"
 }
 
 // group returns (allocating on demand) the translation state of g.
@@ -243,10 +407,46 @@ func (m *Manager) translateAndEnqueue(req *mem.Request, coord dram.Coord, rowID 
 	coord.Row = localGroupBase + phys
 	cls := dram.RowSlow
 	if m.layout.SlotIsFast(phys) {
-		cls = dram.RowFast
-		grp.lastUse[phys] = m.eng.Now()
+		if m.slotWeak(g, phys) {
+			// Weak fast row: the data is intact but the short-bitline
+			// sensing margin is not, so the access is derated to
+			// conservative (slow) timing.
+			m.Stats.Faults.WeakServices++
+		} else {
+			cls = dram.RowFast
+			grp.lastUse[phys] = m.eng.Now()
+		}
 	}
 	m.enqueue(req, coord, cls, rowID, cls == dram.RowSlow && !req.Write)
+}
+
+// slotWeak reports whether group g's fast physical slot phys maps to a
+// weak fast-subarray row.
+func (m *Manager) slotWeak(g uint64, phys int) bool {
+	return m.faults != nil && m.faults.WeakRow(m.layout.RowOf(g, phys))
+}
+
+// groupFenced reports (computing once) whether every fast slot of group
+// g is weak, in which case the group degrades to slow-only service and
+// is fenced out of promotion entirely.
+func (m *Manager) groupFenced(g uint64, grp *group) bool {
+	if m.faults == nil {
+		return false
+	}
+	if !grp.fencedKnown {
+		grp.fencedKnown = true
+		grp.fenced = true
+		for p := 0; p < m.layout.FastSlots(); p++ {
+			if !m.slotWeak(g, p) {
+				grp.fenced = false
+				break
+			}
+		}
+		if grp.fenced {
+			m.Stats.Faults.FencedGroups++
+		}
+	}
+	return grp.fenced
 }
 
 // enqueue forwards to the memory controller, wiring completion and the
@@ -275,12 +475,21 @@ func (m *Manager) enqueue(req *mem.Request, coord dram.Coord, cls dram.RowClass,
 }
 
 // considerPromotion runs the Section 5.3 trigger: filter the row, pick a
-// victim, and schedule the swap.
+// victim, and schedule the swap. On a faulty device it additionally
+// fences degraded groups, skips pinned rows and weak victim slots, and
+// retries failed migrations up to the configured limit before pinning
+// the row in the slow level.
 func (m *Manager) considerPromotion(rowID uint64, coreID int) {
+	if m.migBreaker {
+		return // migration lane judged broken; serve slow-only
+	}
 	g, slot := m.layout.GroupOf(rowID)
 	grp := m.group(g)
 	if grp.migrating {
 		return
+	}
+	if m.groupFenced(g, grp) || grp.isPinned(slot) {
+		return // degraded to slow-only service
 	}
 	phys := int(grp.perm[slot])
 	if m.layout.SlotIsFast(phys) {
@@ -289,10 +498,51 @@ func (m *Manager) considerPromotion(rowID uint64, coreID int) {
 	if !m.filter.Allow(rowID) {
 		return
 	}
-	victimPhys := m.picker.pick(grp, m.layout.FastSlots())
+	var usable func(int) bool
+	if m.faults != nil {
+		usable = func(p int) bool { return !m.slotWeak(g, p) }
+	}
+	victimPhys := m.picker.pick(grp, m.layout.FastSlots(), usable)
 	victimLogical := int(grp.inv[victimPhys])
 	grp.migrating = true
-	commit := func() {
+	free := m.cfg.Design == DASFM || m.ctl.Device().MigrationLatency() == 0
+	// The swap starts from the promotee's current physical row (likely
+	// still open in the row buffer from the triggering access).
+	coord := m.geom.RowCoord(m.layout.RowOf(g, phys))
+	var commit func()
+	commit = func() {
+		if m.faults != nil && m.faults.MigrationFails() {
+			m.Stats.Faults.MigFailures++
+			if grp.retries < m.cfg.MigRetries {
+				grp.retries++
+				m.Stats.Faults.MigRetries++
+				if free {
+					// Bound recursion depth and keep event ordering
+					// uniform: retry on a fresh event.
+					m.eng.Schedule(0, commit)
+				} else {
+					m.ctl.Migrate(coord.Channel, coord.Rank, coord.Bank, coord.Row, commit)
+				}
+				return
+			}
+			// Retries exhausted: abandon the swap and pin the row slow so
+			// the marginal lane is never exercised for it again. Enough
+			// consecutive abandonments (without a single success) indict
+			// the migration lane itself, not the row: trip the breaker and
+			// stop promoting device-wide.
+			grp.retries = 0
+			grp.migrating = false
+			grp.pin(slot)
+			m.Stats.Faults.PinnedRows++
+			m.consecAbandoned++
+			if m.consecAbandoned >= migBreakerThreshold && !m.migBreaker {
+				m.migBreaker = true
+				m.Stats.Faults.MigBreakerTrips++
+			}
+			return
+		}
+		grp.retries = 0
+		m.consecAbandoned = 0
 		grp.swap(slot, victimLogical)
 		grp.lastUse[victimPhys] = m.eng.Now()
 		grp.migrating = false
@@ -306,15 +556,16 @@ func (m *Manager) considerPromotion(rowID uint64, coreID int) {
 		m.tagCache.Insert(rowID)
 		m.tagCache.Insert(victimRow)
 		m.writeTableEntries(rowID, victimRow)
+		if m.checkInv {
+			if err := m.checkSwap(g, grp, rowID, victimRow); err != nil {
+				m.fail(err)
+			}
+		}
 	}
-	if m.cfg.Design == DASFM || m.ctl.Device().MigrationLatency() == 0 {
+	if free {
 		commit()
 		return
 	}
-	// The swap starts from the promotee's current physical row (likely
-	// still open in the row buffer from the triggering access).
-	physRow := m.layout.RowOf(g, phys)
-	coord := m.geom.RowCoord(physRow)
 	m.ctl.Migrate(coord.Channel, coord.Rank, coord.Bank, coord.Row, commit)
 }
 

@@ -59,26 +59,63 @@ type victimPicker struct {
 	counter uint64
 }
 
-// pick returns the fast physical slot to evict from g.
-func (v *victimPicker) pick(g *group, fastSlots int) int {
+// pick returns the fast physical slot to evict from g. usable, when
+// non-nil, excludes slots that must not receive a promotion (weak
+// rows); the caller guarantees at least one usable slot exists. A nil
+// usable keeps the exact decision (and RNG consumption) of the
+// fault-free path.
+func (v *victimPicker) pick(g *group, fastSlots int, usable func(int) bool) int {
+	ok := func(i int) bool { return usable == nil || usable(i) }
 	switch v.policy {
 	case ReplLRU:
-		victim := 0
-		for i := 1; i < fastSlots; i++ {
-			if g.lastUse[i] < g.lastUse[victim] {
+		victim := -1
+		for i := 0; i < fastSlots; i++ {
+			if !ok(i) {
+				continue
+			}
+			if victim < 0 || g.lastUse[i] < g.lastUse[victim] {
 				victim = i
 			}
 		}
 		return victim
 	case ReplRandom:
-		return v.rng.Intn(fastSlots)
+		if usable == nil {
+			return v.rng.Intn(fastSlots)
+		}
+		// Draw uniformly over the usable subset with a single roll so
+		// the stream stays deterministic per decision.
+		n := 0
+		for i := 0; i < fastSlots; i++ {
+			if usable(i) {
+				n++
+			}
+		}
+		k := v.rng.Intn(n)
+		for i := 0; i < fastSlots; i++ {
+			if usable(i) {
+				if k == 0 {
+					return i
+				}
+				k--
+			}
+		}
+		return -1 // unreachable: caller guarantees a usable slot
 	case ReplSequential:
-		s := g.seq
-		g.seq = (g.seq + 1) % fastSlots
-		return s
+		for {
+			s := g.seq
+			g.seq = (g.seq + 1) % fastSlots
+			if ok(s) {
+				return s
+			}
+		}
 	default: // ReplGlobalCounter
-		v.counter++
-		return int(v.counter % uint64(fastSlots))
+		for {
+			v.counter++
+			s := int(v.counter % uint64(fastSlots))
+			if ok(s) {
+				return s
+			}
+		}
 	}
 }
 

@@ -106,6 +106,43 @@ func (tc *TagCache) Insert(row uint64) {
 	set[victim] = tagLine{row: row, valid: true, lru: tc.tick}
 }
 
+// Invalidate drops row's entry if present (e.g. on a detected parity
+// corruption) and reports whether one existed.
+func (tc *TagCache) Invalidate(row uint64) bool {
+	set := tc.sets[tc.index(row)]
+	for i := range set {
+		if set[i].valid && set[i].row == row {
+			set[i] = tagLine{}
+			return true
+		}
+	}
+	return false
+}
+
+// Contains probes for row without touching recency or the hit/lookup
+// counters (diagnostics and invariant checks).
+func (tc *TagCache) Contains(row uint64) bool {
+	set := tc.sets[tc.index(row)]
+	for i := range set {
+		if set[i].valid && set[i].row == row {
+			return true
+		}
+	}
+	return false
+}
+
+// VisitValid calls fn for every valid entry's row id (invariant
+// checks). Iteration order is deterministic: set-major, way-minor.
+func (tc *TagCache) VisitValid(fn func(row uint64)) {
+	for _, set := range tc.sets {
+		for i := range set {
+			if set[i].valid {
+				fn(set[i].row)
+			}
+		}
+	}
+}
+
 // HitRatio reports the lookup hit ratio.
 func (tc *TagCache) HitRatio() float64 {
 	if tc.Lookups == 0 {

@@ -125,10 +125,12 @@ func (c *Core) Clock() sim.Clock { return c.clock }
 // statistics (onWarmup fires when the boundary is crossed); once quota
 // instructions retire, onQuota fires and the core keeps running
 // (generating interference) without accumulating stats. Both callbacks
-// may be nil.
-func (c *Core) Start(warmup, quota uint64, onWarmup, onQuota func(coreID int)) {
+// may be nil. A quota not exceeding the warm-up is a measurement-window
+// misconfiguration and is returned as an error before any event is
+// scheduled.
+func (c *Core) Start(warmup, quota uint64, onWarmup, onQuota func(coreID int)) error {
 	if quota <= warmup {
-		panic("cpu: quota must exceed warmup")
+		return fmt.Errorf("cpu: quota (%d) must exceed warmup (%d)", quota, warmup)
 	}
 	c.warmupAt = warmup
 	c.quota = quota
@@ -142,7 +144,12 @@ func (c *Core) Start(warmup, quota uint64, onWarmup, onQuota func(coreID int)) {
 		}
 	}
 	c.ticker.Start()
+	return nil
 }
+
+// Outstanding reports in-flight memory operations (issued loads plus
+// undrained stores); used by the livelock watchdog.
+func (c *Core) Outstanding() int { return c.outstandingLoads + c.sbInFlight }
 
 // Finished reports whether the core has reached its quota.
 func (c *Core) Finished() bool { return c.finished }

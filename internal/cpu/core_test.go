@@ -50,13 +50,32 @@ func run(t *testing.T, cfg Config, gen workload.Generator, delay sim.Time, quota
 		t.Fatal(err)
 	}
 	finished := false
-	c.Start(0, quota, nil, func(int) { finished = true })
+	if err := c.Start(0, quota, nil, func(int) { finished = true }); err != nil {
+		t.Fatal(err)
+	}
 	for !finished {
 		if !eng.Step() {
 			t.Fatal("engine drained before quota")
 		}
 	}
 	return c, m, eng
+}
+
+func TestStartRejectsBadWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	c, err := New(0, DefaultConfig(), eng, &scriptGen{}, &fixedMem{eng: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(100, 100, nil, nil); err == nil {
+		t.Fatal("quota == warmup accepted")
+	}
+	if err := c.Start(200, 100, nil, nil); err == nil {
+		t.Fatal("quota < warmup accepted")
+	}
+	if eng.Pending() != 0 {
+		t.Fatal("rejected Start scheduled events")
+	}
 }
 
 func TestNonMemoryIPCIsWidth(t *testing.T) {
@@ -136,7 +155,9 @@ func TestStoreBufferBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	finished := false
-	c.Start(0, 200, nil, func(int) { finished = true })
+	if err := c.Start(0, 200, nil, func(int) { finished = true }); err != nil {
+		t.Fatal(err)
+	}
 	for !finished && eng.Step() {
 	}
 	if !finished {
@@ -164,7 +185,9 @@ func TestWarmupAndQuotaCallbacks(t *testing.T) {
 		t.Fatal(err)
 	}
 	var warmID, quotaID = -1, -1
-	c.Start(500, 1500, func(id int) { warmID = id }, func(id int) { quotaID = id })
+	if err := c.Start(500, 1500, func(id int) { warmID = id }, func(id int) { quotaID = id }); err != nil {
+		t.Fatal(err)
+	}
 	for quotaID < 0 && eng.Step() {
 	}
 	if warmID != 3 || quotaID != 3 {

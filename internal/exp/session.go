@@ -145,12 +145,15 @@ func (s *Session) Run(cfg config.Config, design core.Design, benchmarks []string
 }
 
 // resultKey identifies a run by its design, benchmarks, and every
-// configuration knob a sweep can vary.
+// configuration knob a sweep can vary (including the fault knobs the
+// robustness sweeps iterate).
 func resultKey(cfg config.Config, design core.Design, benchmarks []string) string {
-	return fmt.Sprintf("%v|%s|mig%v|fd%d|gs%d|tc%d|ft%d|rp%s|n%d|cp%v",
+	return fmt.Sprintf("%v|%s|mig%v|fd%d|gs%d|tc%d|ft%d|rp%s|n%d|cp%v|fw%v|fm%v|fr%d|ftg%v|ftb%v|fs%d",
 		design, wkey(benchmarks), cfg.MigrationLatencyNS, cfg.FastDenom,
 		cfg.GroupSize, cfg.TagCacheKB, cfg.FilterThreshold, cfg.Replacement,
-		cfg.InstrPerCore, cfg.ClosedPage)
+		cfg.InstrPerCore, cfg.ClosedPage,
+		cfg.WeakRowRate, cfg.MigFailRate, cfg.MigRetries,
+		cfg.TagCorruptRate, cfg.TableCorruptRate, cfg.FaultSeed)
 }
 
 // Cached runs (once) a design over benchmarks with cfg and memoizes the

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/mc"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -76,6 +77,16 @@ func Build(cfg config.Config, design core.Design, benchmarks []string, static *c
 	}
 	if static != nil {
 		mgr.SetStaticAssignment(static)
+	}
+	if fc := cfg.FaultConfig(); fc.Enabled() {
+		inj, err := fault.NewInjector(fc)
+		if err != nil {
+			return nil, nil, err
+		}
+		mgr.SetFaults(inj)
+	}
+	if cfg.CheckInvariants {
+		mgr.EnableInvariantChecks()
 	}
 	var prof *core.RowProfile
 	if profile {
@@ -176,24 +187,82 @@ func (s *System) onQuota(id int) {
 	s.remaining--
 }
 
-// Run executes the measurement protocol and collects results.
+// watchdog builds the no-progress detector over this system: requests
+// are outstanding whenever controller queues, migrations, translation
+// fetches or core memory operations are in flight, and progress is any
+// demand/meta/migration service or instruction retirement. Observation
+// is host-driven (no simulation events), so enabling it never perturbs
+// results.
+func (s *System) watchdog() *sim.Watchdog {
+	outstanding := func() int {
+		r, w := s.Ctl.QueueDepths()
+		n := r + w + s.Ctl.PendingMigrations() + s.Mgr.PendingTranslations()
+		for _, c := range s.Cores {
+			n += c.Outstanding()
+		}
+		return n
+	}
+	progress := func() uint64 {
+		cs := &s.Ctl.Stats
+		p := cs.Reads + cs.Writes + cs.MetaReads + cs.MetaWrites + cs.Migrations
+		for _, c := range s.Cores {
+			p += c.RetiredTotal()
+		}
+		return p
+	}
+	report := func() string {
+		return s.Ctl.Describe() + s.Mgr.DescribePending()
+	}
+	return sim.NewWatchdog(sim.DefaultWatchdogWindow, outstanding, progress, report)
+}
+
+// observeEvery is how many engine steps pass between watchdog and
+// manager-error observations (each observation is a handful of loads,
+// so this keeps the overhead unmeasurable).
+const observeEvery = 1 << 12
+
+// Run executes the measurement protocol and collects results. It fails
+// fast — with a structured error rather than corrupted results — on
+// assembly mistakes (CheckReady), invariant violations recorded by the
+// manager, deadlock (drained queue), and livelock (watchdog).
 func (s *System) Run() (*Result, error) {
+	if err := s.Mgr.CheckReady(); err != nil {
+		return nil, err
+	}
 	warmup := uint64(float64(s.Cfg.InstrPerCore) * s.Cfg.WarmupFrac)
 	for _, c := range s.Cores {
-		c.Start(warmup, s.Cfg.InstrPerCore, s.onWarmup, s.onQuota)
+		if err := c.Start(warmup, s.Cfg.InstrPerCore, s.onWarmup, s.onQuota); err != nil {
+			return nil, err
+		}
 	}
-	// Watchdog: a livelocked system (e.g. tickers firing with no forward
-	// progress) would otherwise run forever; no sane run needs an average
-	// of 50 ns per instruction (IPC ~0.007).
+	// Hard ceiling: no sane run needs an average of 50 ns per
+	// instruction (IPC ~0.007); the watchdog below catches true stalls
+	// long before this.
 	limit := sim.Time(s.Cfg.InstrPerCore) * 50 * sim.Nanosecond
+	wd := s.watchdog()
+	steps := 0
 	for s.remaining > 0 {
 		if !s.Eng.Step() {
-			return nil, fmt.Errorf("exp: event queue drained with %d cores unfinished (deadlock)", s.remaining)
+			return nil, fmt.Errorf("exp: event queue drained with %d cores unfinished (deadlock)\n%s",
+				s.remaining, s.Ctl.Describe()+s.Mgr.DescribePending())
+		}
+		steps++
+		if steps&(observeEvery-1) != 0 {
+			continue
+		}
+		if err := s.Mgr.Err(); err != nil {
+			return nil, fmt.Errorf("exp: manager failed at t=%.0f ns: %w", s.Eng.Now().NS(), err)
+		}
+		if err := wd.Observe(s.Eng.Now()); err != nil {
+			return nil, fmt.Errorf("exp: %w", err)
 		}
 		if s.Eng.Now() > limit {
 			return nil, fmt.Errorf("exp: watchdog: %d cores unfinished after %v ns simulated (livelock?)",
 				s.remaining, s.Eng.Now().NS())
 		}
+	}
+	if err := s.Mgr.Err(); err != nil {
+		return nil, fmt.Errorf("exp: manager failed: %w", err)
 	}
 	return s.collect(), nil
 }
@@ -227,6 +296,11 @@ type Result struct {
 	EnergyProxy      float64   // relative DRAM access-energy estimate (§7.7)
 	SimulatedNS      float64
 	Events           uint64
+
+	// Faults aggregates the manager's degradation activity and Injected
+	// the raw injector decisions; both are zero on a perfect device.
+	Faults   core.FaultStats
+	Injected fault.Stats
 }
 
 // collect derives the Result after all cores reached quota.
@@ -271,6 +345,10 @@ func (s *System) collect() *Result {
 	r.EnergyProxy = energyProxy(r.DevStats)
 	r.SimulatedNS = s.Eng.Now().NS()
 	r.Events = s.Eng.Executed()
+	r.Faults = s.Mgr.Stats.Faults
+	if inj := s.Mgr.Faults(); inj != nil {
+		r.Injected = inj.Stats
+	}
 	return r
 }
 

@@ -1,0 +1,125 @@
+package fault
+
+import "testing"
+
+func TestValidateRejectsBadRates(t *testing.T) {
+	for _, c := range []Config{
+		{WeakRowRate: -0.1},
+		{MigFailRate: 1.5},
+		{TagCorruptRate: 2},
+		{TableCorruptRate: -1},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %+v accepted", c)
+		}
+		if _, err := NewInjector(c); err == nil {
+			t.Fatalf("injector for %+v accepted", c)
+		}
+	}
+	if err := (&Config{WeakRowRate: 1, MigFailRate: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (&Config{}).Enabled() {
+		t.Fatal("zero config enabled")
+	}
+	if !(&Config{TableCorruptRate: 0.01}).Enabled() {
+		t.Fatal("nonzero config disabled")
+	}
+}
+
+func TestWeakRowDeterministicAndOrderFree(t *testing.T) {
+	a, _ := NewInjector(Config{Seed: 7, WeakRowRate: 0.3})
+	b, _ := NewInjector(Config{Seed: 7, WeakRowRate: 0.3})
+	// Query b in reverse order: the defect map must not depend on
+	// query order.
+	const n = 4096
+	got := make([]bool, n)
+	for r := 0; r < n; r++ {
+		got[r] = a.WeakRow(uint64(r))
+	}
+	for r := n - 1; r >= 0; r-- {
+		if b.WeakRow(uint64(r)) != got[r] {
+			t.Fatalf("row %d weak decision depends on query order", r)
+		}
+	}
+	// Repeat queries are stable.
+	for r := 0; r < n; r++ {
+		if a.WeakRow(uint64(r)) != got[r] {
+			t.Fatalf("row %d weak decision unstable", r)
+		}
+	}
+}
+
+func TestWeakRowRateApproximate(t *testing.T) {
+	inj, _ := NewInjector(Config{Seed: 42, WeakRowRate: 0.25})
+	weak := 0
+	const n = 1 << 16
+	for r := 0; r < n; r++ {
+		if inj.WeakRow(uint64(r)) {
+			weak++
+		}
+	}
+	frac := float64(weak) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("weak fraction %.3f far from configured 0.25", frac)
+	}
+}
+
+func TestWeakRowSeedChangesMap(t *testing.T) {
+	a, _ := NewInjector(Config{Seed: 1, WeakRowRate: 0.5})
+	b, _ := NewInjector(Config{Seed: 2, WeakRowRate: 0.5})
+	same := 0
+	const n = 1024
+	for r := 0; r < n; r++ {
+		if a.WeakRow(uint64(r)) == b.WeakRow(uint64(r)) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical defect maps")
+	}
+}
+
+func TestExtremeRates(t *testing.T) {
+	all, _ := NewInjector(Config{WeakRowRate: 1, MigFailRate: 1})
+	none, _ := NewInjector(Config{})
+	for r := 0; r < 64; r++ {
+		if !all.WeakRow(uint64(r)) {
+			t.Fatal("rate 1 missed a row")
+		}
+		if none.WeakRow(uint64(r)) {
+			t.Fatal("rate 0 marked a row weak")
+		}
+		if !all.MigrationFails() {
+			t.Fatal("rate 1 migration succeeded")
+		}
+		if none.MigrationFails() || none.TagEntryCorrupt() || none.TableBlockCorrupt() {
+			t.Fatal("rate 0 injected a fault")
+		}
+	}
+	if all.Stats.MigFailures != 64 {
+		t.Fatalf("failure count %d, want 64", all.Stats.MigFailures)
+	}
+	if none.Stats != (Stats{}) {
+		t.Fatalf("zero-rate injector counted faults: %+v", none.Stats)
+	}
+}
+
+func TestRollStreamDeterministic(t *testing.T) {
+	a, _ := NewInjector(Config{Seed: 9, MigFailRate: 0.5, TagCorruptRate: 0.3})
+	b, _ := NewInjector(Config{Seed: 9, MigFailRate: 0.5, TagCorruptRate: 0.3})
+	for k := 0; k < 1000; k++ {
+		if a.MigrationFails() != b.MigrationFails() {
+			t.Fatalf("migration roll %d diverged", k)
+		}
+		if a.TagEntryCorrupt() != b.TagEntryCorrupt() {
+			t.Fatalf("tag roll %d diverged", k)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+}

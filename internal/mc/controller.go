@@ -2,6 +2,7 @@ package mc
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/dram"
 	"repro/internal/sim"
@@ -143,6 +144,36 @@ func (c *Controller) QueueDepths() (reads, writes int) {
 		writes += len(cc.writeQ)
 	}
 	return
+}
+
+// Describe renders the controller's queued work — oldest read/write per
+// channel with its age, plus pending migrations — for watchdog stall
+// reports.
+func (c *Controller) Describe() string {
+	now := c.eng.Now()
+	var b strings.Builder
+	for i, cc := range c.chans {
+		if len(cc.readQ) == 0 && len(cc.writeQ) == 0 && len(cc.migQ) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "channel %d: %d reads, %d writes, %d migrations\n",
+			i, len(cc.readQ), len(cc.writeQ), len(cc.migQ))
+		if len(cc.readQ) > 0 {
+			r := cc.readQ[0]
+			fmt.Fprintf(&b, "  oldest read: rank %d bank %d row %d class %v core %d, waiting %.0f ns\n",
+				r.Coord.Rank, r.Coord.Bank, r.Coord.Row, r.Class, r.Core, (now - r.enqueued).NS())
+		}
+		if len(cc.writeQ) > 0 {
+			w := cc.writeQ[0]
+			fmt.Fprintf(&b, "  oldest write: rank %d bank %d row %d, waiting %.0f ns\n",
+				w.Coord.Rank, w.Coord.Bank, w.Coord.Row, (now - w.enqueued).NS())
+		}
+		for _, op := range cc.migQ {
+			fmt.Fprintf(&b, "  migration: rank %d bank %d row %d, waiting %.0f ns\n",
+				op.rank, op.bank, op.row, (now - op.enqueued).NS())
+		}
+	}
+	return b.String()
 }
 
 // PendingMigrations reports queued migration operations.

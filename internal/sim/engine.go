@@ -84,8 +84,13 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending reports how many events are waiting to fire.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// Schedule runs fn after delay. A negative delay panics: scheduling into
-// the past would silently corrupt causality.
+// Schedule runs fn after delay.
+//
+// Invariant: delay must be non-negative. A violation panics rather than
+// returning an error because scheduling into the past can only come
+// from a component bug, and continuing would silently corrupt causality
+// for the rest of the run; there is no caller-side recovery that leaves
+// the simulation meaningful.
 func (e *Engine) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: schedule with negative delay %d at t=%d", delay, e.now))
@@ -93,7 +98,12 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	e.ScheduleAt(e.now+delay, fn)
 }
 
-// ScheduleAt runs fn at absolute time at, which must not precede Now.
+// ScheduleAt runs fn at absolute time at.
+//
+// Invariant: at must not precede Now and fn must be non-nil. Both
+// violations panic by design (see Schedule): they indicate engine
+// misuse by a component, not a recoverable runtime condition, so they
+// are treated as assertion failures instead of returned errors.
 func (e *Engine) ScheduleAt(at Time, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at past time %d (now %d)", at, e.now))

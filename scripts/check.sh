@@ -1,0 +1,24 @@
+#!/bin/sh
+# check.sh is the tier-1+ gate: everything the repo's own tests require
+# (build + tests) plus the race detector and a short fault-injection
+# smoke run proving the DAS management path degrades gracefully end to
+# end. CI and pre-merge runs should pass this, not just `go test ./...`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== fault-sweep smoke (dasbench -fig faults)"
+# Tiny instruction budget: exercises every sweep point — including the
+# rate-1.0 full-degradation endpoints — with invariants and the watchdog
+# armed, in well under a minute.
+go run ./cmd/dasbench -fig faults -benchmarks mcf -instr 200000 >/dev/null
+
+echo "check.sh: all gates passed"
