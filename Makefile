@@ -1,12 +1,16 @@
 # Tier-1 gate (what the roadmap requires to stay green):
 #   make test
-# Tier-1+ gate (pre-merge: adds vet, the race detector, and a fault-
-# injection smoke run of the management path):
+# Tier-1+ gate (pre-merge: adds vet, the race detector, determinism
+# cross-checks, fuzz/bench smokes, and a fault-injection run of the
+# management path):
 #   make check
+# Benchmark suite (engine micro-benchmarks + per-figure miniatures);
+# writes BENCH_latest.json for comparison against BENCH_baseline.json:
+#   make bench
 
 GO ?= go
 
-.PHONY: build test check vet clean
+.PHONY: build test check vet bench clean
 
 build:
 	$(GO) build ./...
@@ -19,6 +23,11 @@ vet:
 
 check:
 	sh scripts/check.sh
+
+bench:
+	{ $(GO) test -run '^$$' -bench '^BenchmarkEngine' -benchmem -benchtime 200000x ./internal/sim ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkFig' -benchmem -benchtime 3x . ; } \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_latest.json
 
 clean:
 	$(GO) clean ./...

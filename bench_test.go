@@ -95,15 +95,24 @@ func BenchmarkTable2Workloads(b *testing.B) {
 }
 
 // BenchmarkFig7a regenerates Figure 7a in miniature: single-programmed
-// improvements of every design.
+// improvements of every design. This is the acceptance benchmark for
+// engine-hot-path work: alongside the paper-shape %imp metrics (which
+// must not move) it reports simulated events/sec and allocations
+// (compare against BENCH_baseline.json).
 func BenchmarkFig7a(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(cfg)
 		for _, d := range []core.Design{core.SAS, core.CHARM, core.DAS, core.DASFM, core.FS} {
 			imp := runImprovement(b, s, cfg, d, []string{"mcf"})
 			b.ReportMetric(imp, fmt.Sprintf("%%imp-%s", metricName(d)))
 		}
+		events += s.EventsExecuted()
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/s")
 	}
 }
 

@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench` text output, read from
+// stdin, into a stable JSON document. `make bench` pipes through it to
+// produce BENCH_latest.json; the checked-in BENCH_baseline.json holds
+// documents captured the same way before and after the event-engine
+// rewrite.
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_latest.json
+//
+// Each benchmark line becomes {name, iterations, metrics}, where
+// metrics maps unit → value for every value/unit pair on the line
+// (ns/op, B/op, allocs/op, and any b.ReportMetric custom units). The
+// goos/goarch/cpu header lines are collected into "context".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []benchmark       `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix is the "-8" style suffix go test appends to
+// benchmark names; stripped so documents compare across machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	outPath := flag.String("out", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	doc := document{Context: map[string]string{}, Benchmarks: []benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			// pkg repeats per package; keep the first of each key.
+			if _, seen := doc.Context[k]; !seen {
+				doc.Context[k] = strings.TrimSpace(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(doc.Benchmarks, func(i, j int) bool {
+		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
+	})
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *outPath)
+		return
+	}
+	os.Stdout.Write(enc)
+}
+
+// parseBenchLine parses "BenchmarkName-8  3  123 ns/op  4 B/op ..." into
+// a benchmark record; reports false for lines that don't parse (e.g.
+// "BenchmarkX ... FAIL").
+func parseBenchLine(line string) (benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{
+		Name:       gomaxprocsSuffix.ReplaceAllString(f[0], ""),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}

@@ -7,6 +7,12 @@
 //	dasbench -fig 7a              # single-programming improvements
 //	dasbench -fig all -out results.txt
 //	dasbench -fig 7d -instr 2000000
+//	dasbench -fig 7a -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Figure text goes to stdout (and -out) and is byte-stable: it is the
+// golden artifact asserted by internal/exp's regression tests. All
+// diagnostics — per-figure wall-clock, events/sec and allocation
+// footers — go to stderr only.
 package main
 
 import (
@@ -16,8 +22,10 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
-	"time"
 
 	"repro/internal/config"
 	"repro/internal/exp"
@@ -26,7 +34,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dasbench: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	var (
 		figs     = flag.String("fig", "tables", "comma-separated figures: 7a,7b,7c,7d,7e,7f,8,9a,9b,9c,9d,power,area,table1,table2,faults,all,tables")
 		instr    = flag.Uint64("instr", 0, "instructions per core (0 = config default)")
@@ -34,9 +47,13 @@ func main() {
 		fullScal = flag.Bool("full-scale", false, "use the full 8 GB Table 1 memory instead of the episode-scaled 1 GB")
 		outPath  = flag.String("out", "", "write output to file instead of stdout")
 		seed     = flag.Uint64("seed", 0, "override workload seed")
-		csvDir   = flag.String("csv-dir", "", "also write each figure's tables as CSV files into this directory")
+		csvDir   = flag.String("csv-dir", "", "also write each figure's tables as CSV files (plus perf.csv) into this directory")
 		benchSel = flag.String("benchmarks", "", "comma-separated benchmark subset for single-programmed figures")
 		mixSel   = flag.String("mixes", "", "comma-separated mix subset (M1..M8) for multi-programmed figures")
+
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile (pprof) covering all selected figures to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (pprof) taken after all figures to this file")
+		traceFile = flag.String("trace", "", "write a runtime execution trace covering all selected figures to this file")
 
 		// Fault injection (DAS management path; all rates zero = perfect
 		// device). The -fig faults sweep varies these itself.
@@ -57,7 +74,7 @@ func main() {
 	if *cfgPath != "" {
 		c, err := config.Load(*cfgPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		cfg = c
 	}
@@ -79,17 +96,54 @@ func main() {
 	}
 	cfg.CheckInvariants = *invariants
 	if err := cfg.Validate(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer trace.Stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live objects, not transients
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
 	}
 
 	s := exp.NewSession(cfg)
@@ -106,23 +160,30 @@ func main() {
 		wanted = []string{"table1", "table2", "area"}
 	}
 
+	perfCSV := "figure,wall_seconds,events,events_per_sec,alloc_bytes,alloc_objects\n"
 	for _, name := range wanted {
 		name = strings.TrimSpace(strings.ToLower(name))
-		start := time.Now()
-		fig, err := dispatch(s, cfg, name)
+		fig, err := s.Measured(func() (*exp.Figure, error) { return dispatch(s, cfg, name) })
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprint(out, fig.Render())
 		if *csvDir != "" {
 			if err := writeCSVs(*csvDir, fig); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
-		if d := time.Since(start); d > time.Second {
-			log.Printf("%s done in %v", fig.ID, d.Round(time.Second))
+		log.Printf("%s: %s", fig.ID, fig.Perf)
+		perfCSV += fmt.Sprintf("%s,%.3f,%d,%.0f,%d,%d\n",
+			fig.ID, fig.Perf.Wall.Seconds(), fig.Perf.Events,
+			fig.Perf.EventsPerSec(), fig.Perf.AllocBytes, fig.Perf.AllocObjects)
+	}
+	if *csvDir != "" {
+		if err := os.WriteFile(filepath.Join(*csvDir, "perf.csv"), []byte(perfCSV), 0o644); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // writeCSVs dumps each of a figure's tables as <dir>/<figID>[-i].csv.

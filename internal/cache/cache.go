@@ -59,10 +59,19 @@ type line struct {
 }
 
 // mshr tracks one outstanding fill and the requests waiting on it.
+// Slots are recycled through the cache's free list with their fill
+// request's completion bound once, so a steady-state miss allocates
+// nothing: the pool high-water mark is the configured MSHR count (plus
+// unbounded-by-config Meta fetches, in practice a handful).
 type mshr struct {
+	c         *Cache
 	blockAddr uint64
 	waiters   []*mem.Request
+	fillReq   mem.Request
 }
+
+// filled completes the fill this slot tracks.
+func (m *mshr) filled() { m.c.fill(m) }
 
 // Stats counts cache activity. Misses are demand misses (writeback and
 // coalesced accesses are tracked separately).
@@ -89,8 +98,9 @@ type Cache struct {
 	blkBits uint
 	lruTick uint64
 
-	mshrs   map[uint64]*mshr
-	pending []*mem.Request // waiting for a free MSHR
+	mshrs    map[uint64]*mshr
+	mshrPool []*mshr        // recycled MSHR slots
+	pending  []*mem.Request // waiting for a free MSHR
 
 	Stats Stats
 }
@@ -135,9 +145,15 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) blockAddr(addr uint64) uint64 { return addr >> c.blkBits << c.blkBits }
 func (c *Cache) setIndex(block uint64) uint64 { return (block >> c.blkBits) & c.setMask }
 
+// lookupEvent is the shared trampoline Access schedules through; with
+// the (cache, request) pair carried as bound arguments, entering a
+// level allocates nothing (a fresh closure here escaped once per access
+// per level and dominated the simulator's allocation profile).
+func lookupEvent(a, b any) { a.(*Cache).lookup(b.(*mem.Request)) }
+
 // Access enters a request into this level after the lookup latency.
 func (c *Cache) Access(req *mem.Request) {
-	c.eng.Schedule(c.cfg.Latency, func() { c.lookup(req) })
+	c.eng.ScheduleCall(c.cfg.Latency, lookupEvent, c, req)
 }
 
 // lookup performs the tag match after the access latency has elapsed.
@@ -190,22 +206,30 @@ func (c *Cache) lookup(req *mem.Request) {
 	c.allocateMSHR(block, req)
 }
 
-// allocateMSHR starts a fill for block with req as first waiter.
+// allocateMSHR starts a fill for block with req as first waiter,
+// recycling a pooled slot when one is free.
 func (c *Cache) allocateMSHR(block uint64, req *mem.Request) {
-	m := &mshr{blockAddr: block, waiters: []*mem.Request{req}}
-	c.mshrs[block] = m
-	fill := &mem.Request{
-		Addr:   block,
-		Core:   req.Core,
-		Meta:   req.Meta,
-		Issued: c.eng.Now(),
-		Done:   func() { c.fill(m) },
+	var m *mshr
+	if n := len(c.mshrPool); n > 0 {
+		m = c.mshrPool[n-1]
+		c.mshrPool = c.mshrPool[:n-1]
+	} else {
+		m = &mshr{c: c}
+		m.fillReq.Done = m.filled
 	}
-	c.lower.Access(fill)
+	m.blockAddr = block
+	m.waiters = append(m.waiters[:0], req)
+	c.mshrs[block] = m
+	m.fillReq.Addr = block
+	m.fillReq.Core = req.Core
+	m.fillReq.Meta = req.Meta
+	m.fillReq.Issued = c.eng.Now()
+	c.lower.Access(&m.fillReq)
 }
 
 // fill installs the block and releases waiters when the lower level
-// returns data.
+// returns data, then recycles the slot (nothing below holds a
+// reference to the fill request once its Done has fired).
 func (c *Cache) fill(m *mshr) {
 	delete(c.mshrs, m.blockAddr)
 	c.install(m.blockAddr, m.waiters)
@@ -213,6 +237,10 @@ func (c *Cache) fill(m *mshr) {
 		w.Complete()
 	}
 	c.drainPending()
+	for i := range m.waiters {
+		m.waiters[i] = nil
+	}
+	c.mshrPool = append(c.mshrPool, m)
 }
 
 // install places block into its set, writing back the dirty victim.

@@ -212,18 +212,30 @@ func (c *Config) ManagerConfig(design core.Design) (core.Config, error) {
 	}, nil
 }
 
+// Parse decodes a JSON configuration layered over Default() and
+// validates it. Arbitrary input never panics (FuzzConfigJSON holds it
+// to that): malformed JSON and inconsistent values both come back as
+// errors.
+func Parse(data []byte) (Config, error) {
+	c := Default()
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("config: parse: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
 // Load reads a JSON configuration file.
 func Load(path string) (Config, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Config{}, fmt.Errorf("config: %w", err)
 	}
-	c := Default()
-	if err := json.Unmarshal(data, &c); err != nil {
-		return Config{}, fmt.Errorf("config: parse %s: %w", path, err)
-	}
-	if err := c.Validate(); err != nil {
-		return Config{}, err
+	c, err := Parse(data)
+	if err != nil {
+		return Config{}, fmt.Errorf("%w (%s)", err, path)
 	}
 	return c, nil
 }

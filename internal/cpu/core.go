@@ -73,15 +73,19 @@ type Core struct {
 	gen   workload.Generator
 	l1    mem.Component
 
-	rob   []robEntry
-	head  int
-	count int
+	rob      []robEntry
+	loadReqs []mem.Request // per-ROB-slot load requests, Done bound once
+	head     int
+	count    int
 
 	outstandingLoads int
-	depQueue         []int // ROB indexes of unissued dependent loads
+	depQueue         []int        // ROB indexes of unissued dependent loads
+	storePool        []*storeSlot // recycled store requests
 	sbInFlight       int
 	pending          workload.Instr // stalled instruction awaiting dispatch
 	pendingValid     bool
+	scratch          workload.Instr // dispatch scratch (a local would
+	// escape through the Generator interface call and allocate per tick)
 
 	retiredTotal uint64
 	warmupAt     uint64 // retired count at which measurement starts
@@ -109,6 +113,14 @@ func New(id int, cfg Config, eng *sim.Engine, gen workload.Generator, l1 mem.Com
 		gen:   gen,
 		l1:    l1,
 		rob:   make([]robEntry, cfg.ROB),
+	}
+	// One request per ROB slot with its completion bound once: a slot is
+	// only reused after its previous instruction retired, which requires
+	// the load to have completed, so in-flight requests never alias.
+	c.loadReqs = make([]mem.Request, cfg.ROB)
+	for i := range c.loadReqs {
+		idx := i
+		c.loadReqs[i].Done = func() { c.loadReturned(idx) }
 	}
 	c.Stats.Pages = make(map[uint64]struct{})
 	c.ticker = sim.NewTicker(eng, c.clock, c.tick)
@@ -191,17 +203,17 @@ func (c *Core) tick() {
 	}
 
 	// Dispatch up to Width new instructions into the ROB.
-	var in workload.Instr
+	in := &c.scratch
 	for d := 0; d < c.cfg.Width && c.count < len(c.rob); d++ {
 		if c.pendingValid {
-			in = c.pending
+			*in = c.pending
 		} else {
-			c.gen.Next(&in)
+			c.gen.Next(in)
 		}
 		if in.Mem && in.Write && c.sbInFlight >= c.cfg.StoreBuffer {
 			// Store buffer full: hold the instruction and stall dispatch
 			// (dropping it would silently mutate the workload stream).
-			c.pending = in
+			c.pending = *in
 			c.pendingValid = true
 			break
 		}
@@ -227,10 +239,10 @@ func (c *Core) tick() {
 			// drain to the cache asynchronously.
 			e.done = true
 			c.sbInFlight++
-			c.l1.Access(&mem.Request{
-				Addr: in.Addr, Write: true, Core: c.id, Issued: c.eng.Now(),
-				Done: c.storeDrained,
-			})
+			s := c.newStore()
+			s.req.Addr = in.Addr
+			s.req.Issued = c.eng.Now()
+			c.l1.Access(&s.req)
 			continue
 		}
 		if c.measuring {
@@ -252,15 +264,16 @@ func (c *Core) tick() {
 	}
 }
 
-// issueLoad sends the load at ROB index idx into the hierarchy.
+// issueLoad sends the load at ROB index idx into the hierarchy, reusing
+// the slot's preallocated request.
 func (c *Core) issueLoad(idx int) {
 	c.rob[idx].issued = true
 	c.outstandingLoads++
-	addr := c.rob[idx].addr
-	c.l1.Access(&mem.Request{
-		Addr: addr, Core: c.id, Issued: c.eng.Now(),
-		Done: func() { c.loadReturned(idx) },
-	})
+	req := &c.loadReqs[idx]
+	req.Addr = c.rob[idx].addr
+	req.Core = c.id
+	req.Issued = c.eng.Now()
+	c.l1.Access(req)
 }
 
 // loadReturned marks the load complete and wakes the core.
@@ -270,10 +283,38 @@ func (c *Core) loadReturned(idx int) {
 	c.wake()
 }
 
-// storeDrained frees a store-buffer slot.
-func (c *Core) storeDrained() {
+// storeSlot is a recyclable store request. Its completion callback is
+// bound once at creation; draining returns the slot to the core's pool,
+// whose size is bounded by the store buffer (at most StoreBuffer stores
+// are ever in flight).
+type storeSlot struct {
+	c   *Core
+	req mem.Request
+}
+
+// drained frees the store-buffer slot and recycles the request. The
+// cache hierarchy holds no reference to the request after Done fires,
+// so the slot is safe to reuse on a later dispatch.
+func (s *storeSlot) drained() {
+	c := s.c
+	c.storePool = append(c.storePool, s)
 	c.sbInFlight--
 	c.wake()
+}
+
+// newStore returns a store request ready for dispatch, recycled from
+// the pool when possible.
+func (c *Core) newStore() *storeSlot {
+	if n := len(c.storePool); n > 0 {
+		s := c.storePool[n-1]
+		c.storePool = c.storePool[:n-1]
+		return s
+	}
+	s := &storeSlot{c: c}
+	s.req.Write = true
+	s.req.Core = c.id
+	s.req.Done = s.drained
+	return s
 }
 
 // retire accounts one retired instruction and drives the measurement

@@ -15,6 +15,10 @@ type Figure struct {
 	ID     string
 	Title  string
 	Tables []*stats.Table
+
+	// Perf is attached by Session.Measured. It is intentionally NOT part
+	// of Render: figure text is golden output.
+	Perf *Perf
 }
 
 // Render returns the figure as text.

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden tests pin the figure text of small fixed-seed runs. A
+// figure's rendered output is the determinism contract made visible:
+// any engine, controller or workload change that alters event order —
+// even without changing averages — shows up here as a byte diff.
+// Regenerate deliberately with:
+//
+//	go test ./internal/exp -run TestGolden -update
+//
+// and justify the diff in the commit. The full-length counterpart
+// (results_single.txt) is asserted by TestGoldenResultsSingleFull in
+// golden_full_test.go (build tag golden_full; ~10-25 min).
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenCompare diffs got against testdata/<name>, rewriting it under
+// -update.
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with `go test -run TestGolden -update ./internal/exp`): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("%s: first divergence at line %d:\n got: %q\nwant: %q", path, i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("%s: length differs: got %d lines, want %d", path, len(gl), len(wl))
+}
+
+// TestGoldenFig7a pins a two-benchmark Figure 7a at the default seed:
+// every design (SAS, CHARM, DAS, DAS-FM, FS) against the Standard
+// baseline on the tiny configuration.
+func TestGoldenFig7a(t *testing.T) {
+	s := NewSession(tinyConfig())
+	s.Benchmarks = []string{"mcf", "soplex"}
+	fig, err := s.Fig7a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "golden_fig7a.txt", fig.Render())
+}
+
+// TestGoldenFaultSweep pins the fault-injection sweep (migration
+// failures, weak rows, translation corruption), whose output also
+// encodes the deterministic fault streams.
+func TestGoldenFaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep golden skipped in -short")
+	}
+	cfg := tinyConfig()
+	cfg.InstrPerCore = 100_000
+	s := NewSession(cfg)
+	s.Benchmarks = []string{"mcf"}
+	fig, err := s.FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "golden_faults.txt", fig.Render())
+}

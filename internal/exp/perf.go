@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Perf captures the host-side cost of producing one figure: wall-clock
+// time, engine events executed by the fresh (non-memoized) runs behind
+// it, and Go heap allocation deltas. It is diagnostic output only and
+// must never leak into Figure.Render — figure text is a golden artifact
+// (results_single.txt) that has to stay byte-identical across engines
+// and machines.
+type Perf struct {
+	Wall         time.Duration
+	Events       uint64 // engine events executed while computing the figure
+	AllocBytes   uint64 // heap bytes allocated (runtime TotalAlloc delta)
+	AllocObjects uint64 // heap objects allocated (runtime Mallocs delta)
+}
+
+// EventsPerSec reports simulation throughput; zero when no time elapsed.
+func (p *Perf) EventsPerSec() float64 {
+	if p == nil || p.Wall <= 0 {
+		return 0
+	}
+	return float64(p.Events) / p.Wall.Seconds()
+}
+
+// String renders a one-line footer, e.g.
+// "wall 12.3s | 41.2M events (3.35M events/s) | 18.4MB allocated (120.3k objects)".
+func (p *Perf) String() string {
+	return fmt.Sprintf("wall %s | %s events (%s events/s) | %sB allocated (%s objects)",
+		p.Wall.Round(time.Millisecond),
+		count(float64(p.Events)), count(p.EventsPerSec()),
+		count(float64(p.AllocBytes)), count(float64(p.AllocObjects)))
+}
+
+// count formats a magnitude with a k/M/G suffix for human reading.
+func count(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// Measured runs f and attaches a Perf record to the figure it returns.
+// Event counts are deltas of the session counter, so figures that reuse
+// memoized runs report only the work actually performed on their behalf.
+func (s *Session) Measured(f func() (*Figure, error)) (*Figure, error) {
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	ev0 := s.EventsExecuted()
+	start := time.Now()
+	fig, err := f()
+	if err != nil || fig == nil {
+		return fig, err
+	}
+	wall := time.Since(start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	fig.Perf = &Perf{
+		Wall:         wall,
+		Events:       s.EventsExecuted() - ev0,
+		AllocBytes:   m1.TotalAlloc - m0.TotalAlloc,
+		AllocObjects: m1.Mallocs - m0.Mallocs,
+	}
+	return fig, nil
+}

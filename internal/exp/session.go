@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -28,6 +29,11 @@ type Session struct {
 	mu        sync.Mutex
 	baselines map[string]*baselineEntry
 	results   map[string]*resultEntry
+
+	// events totals engine events executed by this session's fresh runs
+	// (cache hits add nothing), feeding the per-figure events/sec
+	// reporting and the benchmark suite.
+	events atomic.Uint64
 }
 
 type resultEntry struct {
@@ -81,6 +87,10 @@ func (s *Session) entry(benchmarks []string) *baselineEntry {
 	return e
 }
 
+// EventsExecuted reports the total engine events executed by runs this
+// session performed (memoized results count once, when they ran).
+func (s *Session) EventsExecuted() uint64 { return s.events.Load() }
+
 // Baseline runs (once) the Standard design for the benchmark set.
 func (s *Session) Baseline(benchmarks []string) (*Result, error) {
 	e := s.entry(benchmarks)
@@ -91,6 +101,9 @@ func (s *Session) Baseline(benchmarks []string) (*Result, error) {
 			return
 		}
 		e.res, e.err = sys.Run()
+		if e.res != nil {
+			s.events.Add(e.res.Events)
+		}
 	})
 	return e.res, e.err
 }
@@ -141,7 +154,11 @@ func (s *Session) Run(cfg config.Config, design core.Design, benchmarks []string
 	if err != nil {
 		return nil, err
 	}
-	return sys.Run()
+	res, err := sys.Run()
+	if res != nil {
+		s.events.Add(res.Events)
+	}
+	return res, err
 }
 
 // resultKey identifies a run by its design, benchmarks, and every

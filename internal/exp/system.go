@@ -229,6 +229,9 @@ func (s *System) Run() (*Result, error) {
 	if err := s.Mgr.CheckReady(); err != nil {
 		return nil, err
 	}
+	// Recycle the event queue's backing array into the next run's engine
+	// (sessions build one short-lived engine per run).
+	defer s.Eng.Release()
 	warmup := uint64(float64(s.Cfg.InstrPerCore) * s.Cfg.WarmupFrac)
 	for _, c := range s.Cores {
 		if err := c.Start(warmup, s.Cfg.InstrPerCore, s.onWarmup, s.onQuota); err != nil {

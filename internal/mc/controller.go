@@ -317,9 +317,13 @@ func (cc *chanCtl) maybeSleep(t sim.Time) {
 		if delay < 0 {
 			delay = 0
 		}
-		cc.ctl.eng.Schedule(delay, cc.wake)
+		cc.ctl.eng.ScheduleCall(delay, chanWake, cc, nil)
 	}
 }
+
+// chanWake is the trampoline for refresh-deadline wake-ups (a cc.wake
+// method value would allocate at every sleep/wake transition).
+func chanWake(a, _ any) { a.(*chanCtl).wake() }
 
 // issueRefresh gives overdue refreshes absolute priority: the rank is
 // drained (open banks precharged) and refreshed.
@@ -571,9 +575,8 @@ func (cc *chanCtl) completeRead(req *Request, end sim.Time) {
 		}
 	}
 	if req.Done != nil {
-		kind := cc.serviceKind(req)
-		done := req.Done
-		cc.ctl.eng.ScheduleAt(end, func() { done(kind) })
+		req.doneKind = cc.serviceKind(req)
+		cc.ctl.eng.ScheduleCallAt(end, fireDone, req, nil)
 	}
 }
 

@@ -48,7 +48,16 @@ type Request struct {
 	Done func(served ServiceKind)
 
 	enqueued  sim.Time
-	firstOpen bool // an ACT was issued for this request
+	firstOpen bool        // an ACT was issued for this request
+	doneKind  ServiceKind // kind latched at issue for the Done event
+}
+
+// fireDone is the trampoline the controller schedules read completions
+// through: the service kind is latched into the request at issue time,
+// so completion needs no per-request closure.
+func fireDone(a, _ any) {
+	r := a.(*Request)
+	r.Done(r.doneKind)
 }
 
 // migOp is one pending migration (promotion swap) on a specific bank.

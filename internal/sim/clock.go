@@ -67,6 +67,12 @@ func NewTicker(eng *Engine, clock Clock, fn func()) *Ticker {
 	return &Ticker{eng: eng, clock: clock, fn: fn, stopped: true}
 }
 
+// tickerFire is the shared trampoline all tickers schedule through:
+// every simulated cycle of every clocked component passes here, and the
+// bound (trampoline, *Ticker) pair keeps that steady-state rescheduling
+// allocation-free where a t.tick method value would allocate per cycle.
+func tickerFire(a, _ any) { a.(*Ticker).tick() }
+
 // Start begins ticking at the next clock edge if not already running.
 func (t *Ticker) Start() {
 	t.stopped = false
@@ -74,7 +80,7 @@ func (t *Ticker) Start() {
 		return
 	}
 	t.running = true
-	t.eng.ScheduleAt(t.clock.NextEdge(t.eng.Now()), t.tick)
+	t.eng.ScheduleCallAt(t.clock.NextEdge(t.eng.Now()), tickerFire, t, nil)
 }
 
 // Stop requests that ticking cease after the current cycle.
@@ -93,5 +99,5 @@ func (t *Ticker) tick() {
 		t.running = false
 		return
 	}
-	t.eng.Schedule(t.clock.Period(), t.tick)
+	t.eng.ScheduleCall(t.clock.Period(), tickerFire, t, nil)
 }

@@ -1,0 +1,174 @@
+package sim
+
+import "testing"
+
+// TestFromNSEdges pins FromNS at the edges: negative durations round
+// away from zero symmetrically with positive ones, sub-picosecond
+// fractions round to nearest, and values near the int64 horizon (~106
+// days of simulated time is Second*9.2e6; DRAM runs use microseconds)
+// convert without overflow.
+func TestFromNSEdges(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Time
+	}{
+		{0, 0},
+		{0.0004, 0},                       // rounds down to zero
+		{0.0006, 1},                       // rounds up to one picosecond
+		{-0.0006, -1},                     // symmetric rounding for negatives
+		{-0.0004, 0},                      // and toward zero below half a pico
+		{0.25, 250},                       // quarter nanosecond
+		{-13.75, -13750},                  // negative fractional
+		{1, 1000},                         // exact unit
+		{-1, -1000},                       //
+		{1e9, Second},                     // one simulated second
+		{7.5, 7500},                       // tRCD-ish magnitudes used by dram
+		{9e15, 9_000_000_000_000_000_000}, // near the int64 horizon, exactly representable
+	}
+	for _, c := range cases {
+		if got := FromNS(c.ns); got != c.want {
+			t.Errorf("FromNS(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+// TestTimeNSRoundTrip pins NS as the inverse of FromNS on exact values.
+func TestTimeNSRoundTrip(t *testing.T) {
+	for _, ns := range []float64{0, 0.001, 0.25, 1, 7.5, -13.75, 1e6} {
+		if got := FromNS(ns).NS(); got != ns {
+			t.Errorf("FromNS(%v).NS() = %v, want exact round trip", ns, got)
+		}
+	}
+}
+
+// TestRunUntilBoundary pins the deadline semantics: an event exactly at
+// the deadline fires (inclusive), one past it stays queued, and the
+// clock lands on the last fired event — never on the deadline itself.
+func TestRunUntilBoundary(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	note := func() { fired = append(fired, e.Now()) }
+	e.ScheduleAt(10, note)
+	e.ScheduleAt(50, note)
+	e.ScheduleAt(51, note)
+
+	e.RunUntil(50)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 50 {
+		t.Fatalf("RunUntil(50) fired %v, want [10 50]", fired)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock at %d after RunUntil(50), want 50 (last fired event)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("%d events pending, want 1 (the t=51 event)", e.Pending())
+	}
+
+	// A deadline short of every remaining event fires nothing and leaves
+	// the clock alone — RunUntil never advances time on its own.
+	e.RunUntil(50)
+	if len(fired) != 2 || e.Now() != 50 {
+		t.Fatalf("idle RunUntil moved state: fired %v, now %d", fired, e.Now())
+	}
+
+	e.RunUntil(51)
+	if len(fired) != 3 || e.Now() != 51 {
+		t.Fatalf("RunUntil(51) fired %v with clock %d, want third event at 51", fired, e.Now())
+	}
+
+	// Empty queue: the clock must hold at the last event even for a far
+	// deadline, so a later scheduling phase resumes from event time.
+	e.RunUntil(1_000_000)
+	if e.Now() != 51 {
+		t.Fatalf("RunUntil on empty queue advanced clock to %d, want 51", e.Now())
+	}
+}
+
+// TestScheduleCallOrdering pins that closure and trampoline events
+// share one (at, seq) order: interleaved same-timestamp events fire in
+// scheduling order regardless of path.
+func TestScheduleCallOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	record := func(a, _ any) { order = append(order, a.(int)) }
+	e.Schedule(5, func() { order = append(order, 0) })
+	e.ScheduleCall(5, record, 1, nil)
+	e.Schedule(5, func() { order = append(order, 2) })
+	e.ScheduleCallAt(5, record, 3, nil)
+	e.Run()
+	for i, id := range order {
+		if i != id {
+			t.Fatalf("same-timestamp firing order %v, want [0 1 2 3]", order)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("fired %d events, want 4", len(order))
+	}
+}
+
+// TestScheduleCallArgs pins that both bound arguments arrive intact.
+func TestScheduleCallArgs(t *testing.T) {
+	e := NewEngine()
+	var gotA, gotB any
+	e.ScheduleCall(1, func(a, b any) { gotA, gotB = a, b }, "alpha", 42)
+	e.Run()
+	if gotA != "alpha" || gotB != 42 {
+		t.Fatalf("trampoline received (%v, %v), want (alpha, 42)", gotA, gotB)
+	}
+}
+
+// TestScheduleCallPanics pins the trampoline path's invariants: the
+// same negative-delay / past-time / nil-callback violations that panic
+// on the closure path panic here too.
+func TestScheduleCallPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	nop := func(_, _ any) {}
+	e := NewEngine()
+	e.ScheduleCall(10, nop, nil, nil)
+	e.Step() // now = 10
+	mustPanic("negative delay", func() { e.ScheduleCall(-1, nop, nil, nil) })
+	mustPanic("past time", func() { e.ScheduleCallAt(9, nop, nil, nil) })
+	mustPanic("nil callback", func() { e.ScheduleCall(1, nil, nil, nil) })
+}
+
+// TestReleaseReuse pins the queue pool contract: an engine keeps
+// working after Release, and a fresh engine adopting the pooled backing
+// starts empty at time zero.
+func TestReleaseReuse(t *testing.T) {
+	e1 := NewEngine()
+	for i := 0; i < 100; i++ {
+		e1.Schedule(Time(i), func() {})
+	}
+	e1.RunUntil(49)
+	e1.Release()
+	if e1.Pending() != 0 {
+		t.Fatalf("%d events pending after Release, want 0", e1.Pending())
+	}
+	// Still usable post-Release.
+	ran := false
+	e1.Schedule(1, func() { ran = true })
+	e1.Run()
+	if !ran {
+		t.Fatal("engine unusable after Release")
+	}
+
+	e2 := NewEngine() // likely adopts e1's released backing
+	if e2.Pending() != 0 || e2.Now() != 0 {
+		t.Fatalf("pooled engine not pristine: %d pending, now %d", e2.Pending(), e2.Now())
+	}
+	n := 0
+	for i := 0; i < 10; i++ {
+		e2.Schedule(Time(i), func() { n++ })
+	}
+	e2.Run()
+	if n != 10 {
+		t.Fatalf("pooled engine fired %d of 10 events", n)
+	}
+}

@@ -4,12 +4,16 @@
 // callbacks at absolute or relative times; events at the same timestamp
 // fire in FIFO order of scheduling, which makes every simulation run
 // bit-reproducible for a given seed.
+//
+// Determinism contract: the firing order is the strict total order
+// (at, seq), where seq is the engine-unique scheduling sequence number.
+// It is independent of the queue's internal layout, so any conforming
+// queue implementation (the default value-typed 4-ary heap, or the
+// container/heap reference selected by the sim_refheap build tag)
+// produces byte-identical simulations.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulation timestamp in picoseconds.
 type Time int64
@@ -35,45 +39,52 @@ func FromNS(ns float64) Time {
 // NS reports t in nanoseconds as a float.
 func (t Time) NS() float64 { return float64(t) / 1000 }
 
-// event is a single scheduled callback.
-type event struct {
+// entry is a single scheduled callback, stored by value inside the
+// event queue: scheduling allocates no per-event heap node. Exactly one
+// of fn (closure form) and cfn (bound-call form) is set.
+type entry struct {
 	at  Time
 	seq uint64 // FIFO tie-break for equal timestamps
 	fn  func()
+	cfn func(a, b any)
+	a   any
+	b   any
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e fires before o under the (at, seq) order.
+func (e *entry) before(o *entry) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return e.seq < o.seq
 }
 
-// Engine is a discrete-event simulator. The zero value is ready to use.
+// fire invokes the callback.
+func (e *entry) fire() {
+	if e.fn != nil {
+		e.fn()
+		return
+	}
+	e.cfn(e.a, e.b)
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use;
+// NewEngine additionally recycles queue storage from earlier engines.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+	q   eventQueue
 	// Executed counts events that have fired; useful for diagnostics.
 	executed uint64
 }
 
-// NewEngine returns an empty engine at time zero.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an empty engine at time zero, reusing pooled queue
+// storage released by previous engines (see Release).
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.q.attachPooled()
+	return e
+}
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
@@ -82,7 +93,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending reports how many events are waiting to fire.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // Schedule runs fn after delay.
 //
@@ -112,19 +123,43 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 		panic("sim: schedule nil event")
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	e.q.push(entry{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleCall runs fn(a, b) after delay. This is the allocation-free
+// scheduling path for hot sites: fn is typically a package-level
+// trampoline and a/b pointers to long-lived component state, so —
+// unlike a fresh closure — nothing escapes per call. Ordering and
+// invariants are identical to Schedule.
+func (e *Engine) ScheduleCall(delay Time, fn func(a, b any), a, b any) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: schedule with negative delay %d at t=%d", delay, e.now))
+	}
+	e.ScheduleCallAt(e.now+delay, fn, a, b)
+}
+
+// ScheduleCallAt runs fn(a, b) at absolute time at (see ScheduleCall).
+func (e *Engine) ScheduleCallAt(at Time, fn func(a, b any), a, b any) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at past time %d (now %d)", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil event")
+	}
+	e.seq++
+	e.q.push(entry{at: at, seq: e.seq, cfn: fn, a: a, b: b})
 }
 
 // Step fires the single earliest pending event and reports whether one
 // existed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.q.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.q.pop()
 	e.now = ev.at
 	e.executed++
-	ev.fn()
+	ev.fire()
 	return true
 }
 
@@ -133,7 +168,7 @@ func (e *Engine) Step() bool {
 // its current value and the last fired event (it is NOT advanced to the
 // deadline so that callers can continue running afterwards).
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
+	for e.q.len() > 0 && e.q.minAt() <= deadline {
 		e.Step()
 	}
 }
@@ -145,7 +180,19 @@ func (e *Engine) Run() {
 }
 
 // Drain discards all pending events without running them. Useful for
-// tearing down a simulation early.
+// tearing down a simulation early. The queue's backing storage is kept
+// for reuse by later scheduling phases.
 func (e *Engine) Drain() {
-	e.events = e.events[:0]
+	e.q.reset()
+}
+
+// Release discards any pending events and returns the queue's backing
+// storage to a package-level free list, where the next NewEngine picks
+// it up. An experiment session builds one short-lived engine per run,
+// and the queue arrays they grow are the engine's only steady-state
+// allocation; releasing them makes the whole schedule/fire path
+// allocation-free across runs. The engine remains usable afterwards
+// (its queue simply starts empty and unpooled).
+func (e *Engine) Release() {
+	e.q.release()
 }

@@ -1,0 +1,89 @@
+package sim
+
+import "testing"
+
+// The engine benchmarks isolate the event hot path from the simulator
+// models. BenchmarkEngineScheduleCall is the headline number: one
+// schedule+fire round trip through the trampoline path used by the
+// clock tickers, cache lookups and controller completions — it must
+// report 0 allocs/op. The Churn variants measure heap operations at
+// realistic queue depths (a 4-core system keeps a few hundred to a few
+// thousand events pending).
+
+// churner is a self-rescheduling periodic event, the dominant event
+// shape in the simulator (core/channel tickers).
+type churner struct {
+	eng    *Engine
+	period Time
+}
+
+func churnFire(a, _ any) {
+	c := a.(*churner)
+	c.eng.ScheduleCall(c.period, churnFire, c, nil)
+}
+
+func benchmarkEngineChurn(b *testing.B, depth int) {
+	eng := NewEngine()
+	cs := make([]churner, depth)
+	for i := range cs {
+		// Coprime-ish periods keep the heap order nontrivial.
+		cs[i] = churner{eng: eng, period: Time(997 + 2*i)}
+		eng.ScheduleCall(Time(i), churnFire, &cs[i], nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for eng.Executed() < uint64(b.N) {
+		eng.Step()
+	}
+	b.StopTimer()
+	eng.Release()
+}
+
+func BenchmarkEngineChurn64(b *testing.B) { benchmarkEngineChurn(b, 64) }
+func BenchmarkEngineChurn1k(b *testing.B) { benchmarkEngineChurn(b, 1024) }
+func BenchmarkEngineChurn8k(b *testing.B) { benchmarkEngineChurn(b, 8192) }
+
+var benchSink int
+
+func benchNopFire(_, _ any) { benchSink++ }
+
+// BenchmarkEngineScheduleCall is a depth-1 schedule+fire round trip on
+// the allocation-free trampoline path.
+func BenchmarkEngineScheduleCall(b *testing.B) {
+	eng := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.ScheduleCall(1, benchNopFire, nil, nil)
+		eng.Step()
+	}
+	eng.Release()
+}
+
+// BenchmarkEngineScheduleClosure is the same round trip through the
+// closure path (Schedule), for comparison against the trampoline.
+func BenchmarkEngineScheduleClosure(b *testing.B) {
+	eng := NewEngine()
+	n := 0
+	fn := func() { n++ }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(1, fn)
+		eng.Step()
+	}
+	eng.Release()
+}
+
+// BenchmarkEngineReleaseReuse measures the per-run cost of standing up
+// an engine, running a small workload, and returning the queue backing
+// to the pool — the exp.Session fresh-run pattern.
+func BenchmarkEngineReleaseReuse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine()
+		cs := churner{eng: eng, period: 3}
+		eng.ScheduleCall(0, churnFire, &cs, nil)
+		eng.RunUntil(100)
+		eng.Drain()
+		eng.Release()
+	}
+}

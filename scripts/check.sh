@@ -1,8 +1,9 @@
 #!/bin/sh
 # check.sh is the tier-1+ gate: everything the repo's own tests require
-# (build + tests) plus the race detector and a short fault-injection
-# smoke run proving the DAS management path degrades gracefully end to
-# end. CI and pre-merge runs should pass this, not just `go test ./...`.
+# (build + tests) plus the race detector, the engine determinism
+# cross-checks, fuzz and benchmark smokes, and a short fault-injection
+# run proving the DAS management path degrades gracefully end to end.
+# CI and pre-merge runs should pass this, not just `go test ./...`.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,6 +15,28 @@ go build ./...
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== engine cross-check: container/heap reference queue (-tags sim_refheap)"
+# The reference queue is the pre-rewrite implementation kept behind a
+# build tag; the sim suite (including FuzzScheduleOrder's corpus and the
+# golden tests' upstream invariants) must pass against it unchanged.
+go test -tags sim_refheap ./internal/sim
+
+echo "== figure determinism: value-heap vs reference-heap engines"
+# Same figure, both queue implementations, byte-compared: the (at, seq)
+# firing order — not the queue layout — must decide simulation results.
+tmp_quad=$(mktemp) tmp_ref=$(mktemp)
+trap 'rm -f "$tmp_quad" "$tmp_ref"' EXIT
+go run ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 >"$tmp_quad" 2>/dev/null
+go run -tags sim_refheap ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 >"$tmp_ref" 2>/dev/null
+cmp "$tmp_quad" "$tmp_ref"
+
+echo "== fuzz smoke (10s per target)"
+go test -run '^$' -fuzz FuzzScheduleOrder -fuzztime 10s ./internal/sim
+go test -run '^$' -fuzz FuzzConfigJSON -fuzztime 10s ./internal/config
+
+echo "== benchmark smoke (1 iteration per benchmark)"
+go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
 
 echo "== fault-sweep smoke (dasbench -fig faults)"
 # Tiny instruction budget: exercises every sweep point — including the
