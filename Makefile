@@ -7,10 +7,14 @@
 # Benchmark suite (engine micro-benchmarks + per-figure miniatures);
 # writes BENCH_latest.json for comparison against BENCH_baseline.json:
 #   make bench
+# Regression gate alone (also part of make check): BenchmarkFig7a vs
+# the checked-in baseline, failing on >10% events/s drop or >10%
+# allocs/op rise:
+#   make bench-compare
 
 GO ?= go
 
-.PHONY: build test check vet bench clean
+.PHONY: build test check vet bench bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -28,6 +32,10 @@ bench:
 	{ $(GO) test -run '^$$' -bench '^BenchmarkEngine' -benchmem -benchtime 200000x ./internal/sim ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkFig' -benchmem -benchtime 3x . ; } \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_latest.json
+
+bench-compare:
+	$(GO) test -run '^$$' -bench '^BenchmarkFig7a$$' -benchmem -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_baseline.json
 
 clean:
 	$(GO) clean ./...

@@ -10,6 +10,15 @@
 // metrics maps unit → value for every value/unit pair on the line
 // (ns/op, B/op, allocs/op, and any b.ReportMetric custom units). The
 // goos/goarch/cpu header lines are collected into "context".
+//
+// With -compare BASELINE.json the parsed run is instead checked against
+// a baseline document (either the flat {context, benchmarks} shape or
+// BENCH_baseline.json's nested {pre, post} shape, in which case "post"
+// is the reference). The command exits nonzero if any benchmark present
+// in both documents regresses: events/s dropping more than 10% or
+// allocs/op rising more than 10%. Throughput (events/s) is only gated
+// when the baseline was captured on the same CPU; allocation counts are
+// machine-independent and always gated.
 package main
 
 import (
@@ -44,6 +53,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	outPath := flag.String("out", "", "write JSON to this file instead of stdout")
+	comparePath := flag.String("compare", "", "compare stdin's benchmarks against this baseline JSON and exit nonzero on regression")
 	flag.Parse()
 
 	doc := document{Context: map[string]string{}, Benchmarks: []benchmark{}}
@@ -74,6 +84,26 @@ func main() {
 		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
 	})
 
+	if *comparePath != "" {
+		raw, err := os.ReadFile(*comparePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := loadBaseline(raw)
+		if err != nil {
+			log.Fatalf("%s: %v", *comparePath, err)
+		}
+		report, regressions := compare(doc, base)
+		for _, line := range report {
+			fmt.Fprintln(os.Stderr, "benchjson: "+line)
+		}
+		if regressions > 0 {
+			log.Fatalf("%d benchmark regression(s) vs %s", regressions, *comparePath)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions vs %s\n", *comparePath)
+		return
+	}
+
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -87,6 +117,92 @@ func main() {
 		return
 	}
 	os.Stdout.Write(enc)
+}
+
+// loadBaseline parses a baseline document. It accepts both the flat
+// {context, benchmarks} shape benchjson emits and BENCH_baseline.json's
+// nested {context, pre, post} shape; for the latter, "post" (the
+// current engine's acceptance numbers) is the reference set.
+func loadBaseline(raw []byte) (document, error) {
+	var file struct {
+		Context    map[string]string `json:"context"`
+		Benchmarks []benchmark       `json:"benchmarks"`
+		Post       *struct {
+			Benchmarks []benchmark `json:"benchmarks"`
+		} `json:"post"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return document{}, err
+	}
+	doc := document{Context: file.Context, Benchmarks: file.Benchmarks}
+	if file.Post != nil {
+		doc.Benchmarks = file.Post.Benchmarks
+	}
+	if len(doc.Benchmarks) == 0 {
+		return document{}, fmt.Errorf("no benchmarks in baseline")
+	}
+	return doc, nil
+}
+
+// Regression thresholds: fail when throughput falls below 90% of the
+// baseline or allocations rise above 110% of it.
+const (
+	minThroughputRatio = 0.90
+	maxAllocRatio      = 1.10
+)
+
+// compare checks cur against base benchmark-by-benchmark and returns a
+// human-readable report plus the number of gated regressions. Only
+// benchmarks present in both documents are gated; events/s is skipped
+// (with a note) when the two documents were captured on different CPUs,
+// since wall-clock throughput does not transfer across machines.
+func compare(cur, base document) (report []string, regressions int) {
+	sameCPU := cur.Context["cpu"] != "" && cur.Context["cpu"] == base.Context["cpu"]
+	baseByName := make(map[string]benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+	matched := 0
+	for _, b := range cur.Benchmarks {
+		ref, ok := baseByName[b.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		if refEPS, ok := ref.Metrics["events/s"]; ok && refEPS > 0 {
+			if eps, ok := b.Metrics["events/s"]; ok {
+				switch {
+				case !sameCPU:
+					report = append(report, fmt.Sprintf("%s: skipping events/s gate (baseline cpu %q != current %q)",
+						b.Name, base.Context["cpu"], cur.Context["cpu"]))
+				case eps < refEPS*minThroughputRatio:
+					regressions++
+					report = append(report, fmt.Sprintf("%s: REGRESSION events/s %.0f < %.0f (%.1f%% of baseline %.0f, floor %.0f%%)",
+						b.Name, eps, refEPS*minThroughputRatio, 100*eps/refEPS, refEPS, 100*minThroughputRatio))
+				default:
+					report = append(report, fmt.Sprintf("%s: events/s %.0f vs baseline %.0f (%.1f%%) ok",
+						b.Name, eps, refEPS, 100*eps/refEPS))
+				}
+			}
+		}
+		if refAllocs, ok := ref.Metrics["allocs/op"]; ok && refAllocs > 0 {
+			if allocs, ok := b.Metrics["allocs/op"]; ok {
+				if allocs > refAllocs*maxAllocRatio {
+					regressions++
+					report = append(report, fmt.Sprintf("%s: REGRESSION allocs/op %.0f > %.0f (%.1f%% of baseline %.0f, ceiling %.0f%%)",
+						b.Name, allocs, refAllocs*maxAllocRatio, 100*allocs/refAllocs, refAllocs, 100*maxAllocRatio))
+				} else {
+					report = append(report, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f (%.1f%%) ok",
+						b.Name, allocs, refAllocs, 100*allocs/refAllocs))
+				}
+			}
+		}
+	}
+	if matched == 0 {
+		regressions++
+		report = append(report, "no benchmarks matched the baseline (did the bench run fail?)")
+	}
+	return report, regressions
 }
 
 // parseBenchLine parses "BenchmarkName-8  3  123 ns/op  4 B/op ..." into

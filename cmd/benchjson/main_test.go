@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkFig7a-8   3   1601899961 ns/op   1579711 events/s   250338037 B/op   9295340 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "BenchmarkFig7a" || b.Iterations != 3 {
+		t.Fatalf("name/iters = %s/%d", b.Name, b.Iterations)
+	}
+	if b.Metrics["events/s"] != 1579711 || b.Metrics["allocs/op"] != 9295340 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	if _, ok := parseBenchLine("BenchmarkBroken --- FAIL"); ok {
+		t.Fatal("FAIL line parsed as benchmark")
+	}
+}
+
+func TestLoadBaselinePrefersPost(t *testing.T) {
+	raw := []byte(`{
+		"context": {"cpu": "TestCPU"},
+		"pre":  {"benchmarks": [{"name": "B", "iterations": 1, "metrics": {"events/s": 100}}]},
+		"post": {"benchmarks": [{"name": "B", "iterations": 1, "metrics": {"events/s": 200}}]}
+	}`)
+	doc, err := loadBaseline(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Context["cpu"] != "TestCPU" {
+		t.Fatalf("context = %v", doc.Context)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Metrics["events/s"] != 200 {
+		t.Fatalf("did not pick post benchmarks: %+v", doc.Benchmarks)
+	}
+	flat := []byte(`{"context": {}, "benchmarks": [{"name": "B", "iterations": 1, "metrics": {"ns/op": 5}}]}`)
+	if doc, err = loadBaseline(flat); err != nil || len(doc.Benchmarks) != 1 {
+		t.Fatalf("flat shape: %v, %+v", err, doc)
+	}
+	if _, err := loadBaseline([]byte(`{"context": {}}`)); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}
+
+func mkDoc(cpu string, eps, allocs float64) document {
+	return document{
+		Context: map[string]string{"cpu": cpu},
+		Benchmarks: []benchmark{{
+			Name:       "BenchmarkFig7a",
+			Iterations: 3,
+			Metrics:    map[string]float64{"events/s": eps, "allocs/op": allocs},
+		}},
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := mkDoc("cpu-x", 1000, 100)
+
+	// Within thresholds on the same CPU: clean.
+	if report, n := compare(mkDoc("cpu-x", 950, 105), base); n != 0 {
+		t.Fatalf("in-threshold run flagged: %v", report)
+	}
+	// Throughput drop beyond 10%: regression.
+	if report, n := compare(mkDoc("cpu-x", 850, 100), base); n != 1 || !strings.Contains(strings.Join(report, "\n"), "events/s") {
+		t.Fatalf("throughput drop not gated: n=%d %v", n, report)
+	}
+	// Allocation rise beyond 10%: regression, even across CPUs.
+	if _, n := compare(mkDoc("cpu-y", 10, 120), base); n != 1 {
+		t.Fatalf("alloc rise across CPUs: n=%d, want 1", n)
+	}
+	// Different CPU: throughput skipped with a note, allocs still gated.
+	report, n := compare(mkDoc("cpu-y", 10, 100), base)
+	if n != 0 {
+		t.Fatalf("cross-CPU throughput gated: %v", report)
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "skipping events/s") {
+		t.Fatalf("no skip note: %v", report)
+	}
+	// Nothing matched at all: that itself is a failure.
+	empty := document{Context: map[string]string{"cpu": "cpu-x"}}
+	if _, n := compare(empty, base); n != 1 {
+		t.Fatalf("empty run passed: n=%d", n)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/exp"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -54,6 +55,13 @@ func run() error {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile (pprof) covering all selected figures to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (pprof) taken after all figures to this file")
 		traceFile = flag.String("trace", "", "write a runtime execution trace covering all selected figures to this file")
+
+		// Telemetry (off by default; enabling it never changes figure
+		// output — golden and determinism tests run with it on).
+		metricsOut  = flag.String("metrics-out", "", "write per-run epoch metric timelines to this file (.json = JSON, anything else = CSV)")
+		timelineOut = flag.String("timeline", "", "write simulated DRAM/migration/fault events as Chrome trace-event JSON (load in Perfetto or chrome://tracing) to this file")
+		epochMS     = flag.Float64("timeline-interval", 0.1, "metric snapshot epoch in simulated milliseconds")
+		httpAddr    = flag.String("http", "", "serve a debug endpoint (completed-run /metrics, /debug/vars, /debug/pprof) on this address, e.g. :8080")
 
 		// Fault injection (DAS management path; all rates zero = perfect
 		// device). The -fig faults sweep varies these itself.
@@ -153,6 +161,22 @@ func run() error {
 	if *mixSel != "" {
 		s.Mixes = strings.Split(*mixSel, ",")
 	}
+	if *metricsOut != "" || *timelineOut != "" || *httpAddr != "" {
+		s.Observe = &exp.ObserveOptions{
+			Metrics:    *metricsOut != "" || *httpAddr != "",
+			Trace:      *timelineOut != "",
+			IntervalPS: int64(*epochMS * 1e9),
+		}
+	}
+	var pub *telemetry.Publisher
+	if *httpAddr != "" {
+		pub = telemetry.NewPublisher()
+		addr, err := pub.Serve(*httpAddr)
+		if err != nil {
+			return err
+		}
+		log.Printf("debug endpoint: http://%s/", addr)
+	}
 	wanted := strings.Split(*figs, ",")
 	if *figs == "all" {
 		wanted = []string{"table1", "table2", "area", "7a", "7b", "7c", "7d", "7e", "7f", "8", "9a", "9b", "9c", "9d", "power"}
@@ -177,13 +201,44 @@ func run() error {
 		perfCSV += fmt.Sprintf("%s,%.3f,%d,%.0f,%d,%d\n",
 			fig.ID, fig.Perf.Wall.Seconds(), fig.Perf.Events,
 			fig.Perf.EventsPerSec(), fig.Perf.AllocBytes, fig.Perf.AllocObjects)
+		if pub != nil {
+			s.PublishTo(pub)
+		}
 	}
 	if *csvDir != "" {
 		if err := os.WriteFile(filepath.Join(*csvDir, "perf.csv"), []byte(perfCSV), 0o644); err != nil {
 			return err
 		}
 	}
+	if *metricsOut != "" {
+		if err := writeSink(*metricsOut, func(w io.Writer) error {
+			if strings.HasSuffix(*metricsOut, ".json") {
+				return s.WriteTimelineJSON(w)
+			}
+			return s.WriteTimelineCSV(w)
+		}); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+	}
+	if *timelineOut != "" {
+		if err := writeSink(*timelineOut, s.WriteTrace); err != nil {
+			return fmt.Errorf("timeline: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeSink creates path and streams one telemetry sink into it.
+func writeSink(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCSVs dumps each of a figure's tables as <dir>/<figID>[-i].csv.

@@ -1,8 +1,13 @@
 // Command dastrace captures synthetic workload streams into the binary
-// trace format and inspects existing traces.
+// trace format, re-encodes existing traces, and inspects them.
 //
 //	dastrace -capture mcf -n 1000000 -o mcf.trc
+//	dastrace -replay mcf.trc -o copy.trc
 //	dastrace -inspect mcf.trc
+//
+// A -replay of a capture must reproduce it byte for byte (the format is
+// deterministic in the instruction stream); the CLI round-trip test
+// pins that property.
 package main
 
 import (
@@ -21,26 +26,38 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dastrace: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run is the testable body of the command: flag parsing and dispatch
+// with all human-readable output on stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dastrace", flag.ContinueOnError)
 	var (
-		capture = flag.String("capture", "", "benchmark name to capture (see -list)")
-		n       = flag.Uint64("n", 1_000_000, "instructions to capture")
-		out     = flag.String("o", "", "output trace file (required with -capture)")
-		inspect = flag.String("inspect", "", "trace file to summarize")
-		list    = flag.Bool("list", false, "list available benchmarks")
-		seed    = flag.Uint64("seed", 0, "override workload seed")
+		capture = fs.String("capture", "", "benchmark name to capture (see -list)")
+		n       = fs.Uint64("n", 1_000_000, "instructions to capture")
+		out     = fs.String("o", "", "output trace file (required with -capture/-replay)")
+		replay  = fs.String("replay", "", "trace file to re-encode through the replayer")
+		inspect = fs.String("inspect", "", "trace file to summarize")
+		list    = fs.Bool("list", false, "list available benchmarks")
+		seed    = fs.Uint64("seed", 0, "override workload seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	switch {
 	case *list:
 		for _, p := range workload.Catalog() {
-			fmt.Printf("%-12s footprint %5d MB, %2.0f%% memory instructions\n",
+			fmt.Fprintf(stdout, "%-12s footprint %5d MB, %2.0f%% memory instructions\n",
 				p.Name, p.FootprintBytes>>20, p.MemFraction*100)
 		}
+		return nil
 	case *capture != "":
 		if *out == "" {
-			log.Fatal("-capture requires -o")
+			return fmt.Errorf("-capture requires -o")
 		}
 		cfg := config.Scaled()
 		if *seed > 0 {
@@ -48,39 +65,64 @@ func main() {
 		}
 		gen, err := exp.MakeGenerator(cfg, *capture, 0)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := trace.Capture(gen, *n, f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
+		if err := captureTo(gen, *n, *out); err != nil {
+			return err
 		}
 		st, _ := os.Stat(*out)
-		log.Printf("captured %d instructions of %s to %s (%d bytes, %.2f B/instr)",
+		fmt.Fprintf(stdout, "captured %d instructions of %s to %s (%d bytes, %.2f B/instr)\n",
 			*n, *capture, *out, st.Size(), float64(st.Size())/float64(*n))
+		return nil
+	case *replay != "":
+		if *out == "" {
+			return fmt.Errorf("-replay requires -o")
+		}
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		rep, err := trace.NewReplayer(*replay, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := captureTo(rep, uint64(rep.Len()), *out); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "re-encoded %d instructions from %s to %s\n", rep.Len(), *replay, *out)
+		return nil
 	case *inspect != "":
 		f, err := os.Open(*inspect)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
-		summarize(f)
+		return summarize(f, stdout)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("no mode selected")
 	}
 }
 
+// captureTo writes n instructions from gen into a fresh trace file.
+func captureTo(gen workload.Generator, n uint64, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Capture(gen, n, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // summarize prints aggregate statistics of a trace.
-func summarize(r io.Reader) {
+func summarize(r io.Reader, stdout io.Writer) error {
 	tr, err := trace.NewReader(r)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var in workload.Instr
 	var total, mem, writes, dependent uint64
@@ -93,7 +135,7 @@ func summarize(r io.Reader) {
 			break
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		total++
 		if !in.Mem {
@@ -114,9 +156,10 @@ func summarize(r io.Reader) {
 		}
 		pages[in.Addr>>12] = struct{}{}
 	}
-	fmt.Printf("instructions: %d\n", total)
-	fmt.Printf("memory ops:   %d (%.1f%%), %d writes, %d dependent loads\n",
+	fmt.Fprintf(stdout, "instructions: %d\n", total)
+	fmt.Fprintf(stdout, "memory ops:   %d (%.1f%%), %d writes, %d dependent loads\n",
 		mem, 100*float64(mem)/float64(total), writes, dependent)
-	fmt.Printf("address span: [%#x, %#x]\n", minAddr, maxAddr)
-	fmt.Printf("4K pages touched: %d (%.1f MB)\n", len(pages), float64(len(pages))/256)
+	fmt.Fprintf(stdout, "address span: [%#x, %#x]\n", minAddr, maxAddr)
+	fmt.Fprintf(stdout, "4K pages touched: %d (%.1f MB)\n", len(pages), float64(len(pages))/256)
+	return nil
 }

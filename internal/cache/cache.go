@@ -102,6 +102,10 @@ type Cache struct {
 	mshrPool []*mshr        // recycled MSHR slots
 	pending  []*mem.Request // waiting for a free MSHR
 
+	// tel is the live instrument set (nil = telemetry off, the default;
+	// see AttachTelemetry).
+	tel *cacheTelemetry
+
 	Stats Stats
 }
 
@@ -224,6 +228,9 @@ func (c *Cache) allocateMSHR(block uint64, req *mem.Request) {
 	m.fillReq.Core = req.Core
 	m.fillReq.Meta = req.Meta
 	m.fillReq.Issued = c.eng.Now()
+	if c.tel != nil {
+		c.tel.mshrOcc.Observe(uint64(len(c.mshrs)))
+	}
 	c.lower.Access(&m.fillReq)
 }
 
@@ -231,6 +238,9 @@ func (c *Cache) allocateMSHR(block uint64, req *mem.Request) {
 // returns data, then recycles the slot (nothing below holds a
 // reference to the fill request once its Done has fired).
 func (c *Cache) fill(m *mshr) {
+	if c.tel != nil {
+		c.tel.fillLat.Observe(uint64((c.eng.Now() - m.fillReq.Issued) / sim.Nanosecond))
+	}
 	delete(c.mshrs, m.blockAddr)
 	c.install(m.blockAddr, m.waiters)
 	for _, w := range m.waiters {

@@ -1,0 +1,34 @@
+package cache
+
+import (
+	"repro/internal/telemetry"
+)
+
+// cacheTelemetry is the cache's live instrument set (nil = off).
+type cacheTelemetry struct {
+	mshrOcc *telemetry.Histogram // live MSHRs right after each allocation
+	fillLat *telemetry.Histogram // fill issue -> data return, ns
+}
+
+// AttachTelemetry registers this cache's instruments on reg, named by
+// the cache's configured name. Hit/miss/access counts are sampled from
+// the existing Stats at snapshot time (no hot-path cost); only the two
+// measurements Stats cannot express — MSHR occupancy and fill latency —
+// get live instruments. Call once at assembly time.
+func (c *Cache) AttachTelemetry(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	prefix := "cache." + c.cfg.Name + "."
+	c.tel = &cacheTelemetry{
+		mshrOcc: reg.Histogram(prefix + "mshr_occupancy"),
+		fillLat: reg.Histogram(prefix + "fill_latency_ns"),
+	}
+	reg.Sample(prefix+"accesses", func() int64 { return int64(c.Stats.Accesses) })
+	reg.Sample(prefix+"hits", func() int64 { return int64(c.Stats.Hits) })
+	reg.Sample(prefix+"misses", func() int64 { return int64(c.Stats.Misses) })
+	reg.Sample(prefix+"coalesced", func() int64 { return int64(c.Stats.Coalesced) })
+	reg.Sample(prefix+"writebacks", func() int64 { return int64(c.Stats.Writebacks) })
+	reg.Sample(prefix+"mshr_live", func() int64 { return int64(len(c.mshrs)) })
+	reg.Sample(prefix+"mshr_pending", func() int64 { return int64(len(c.pending)) })
+}

@@ -100,6 +100,10 @@ type Manager struct {
 	// configuration misuse detected mid-run); see Err.
 	err error
 
+	// tel carries the trace hook for fault events (nil = telemetry off,
+	// the default; see AttachTelemetry).
+	tel *coreTelemetry
+
 	Stats Stats
 }
 
@@ -282,6 +286,7 @@ func (m *Manager) Access(req *mem.Request) {
 			// to the miss path so the entry is re-fetched through the LLC
 			// instead of misdirecting the request.
 			m.Stats.Faults.TagCorruptions++
+			m.noteFault("fault: tag parity", int64(rowID))
 			m.tagCache.Invalidate(rowID)
 		}
 		block := m.tableBlock(rowID)
@@ -349,6 +354,7 @@ func (m *Manager) tableBlockArrived(block uint64) {
 		if m.faults.TableBlockCorrupt() && m.tableRetries[block] < maxTableRefetches {
 			m.tableRetries[block]++
 			m.Stats.Faults.TableRefetches++
+			m.noteFault("fault: table ECC", int64(block))
 			m.fetchTableBlock(block)
 			return
 		}
@@ -513,6 +519,7 @@ func (m *Manager) considerPromotion(rowID uint64, coreID int) {
 	commit = func() {
 		if m.faults != nil && m.faults.MigrationFails() {
 			m.Stats.Faults.MigFailures++
+			m.noteFault("fault: migration", int64(rowID))
 			if grp.retries < m.cfg.MigRetries {
 				grp.retries++
 				m.Stats.Faults.MigRetries++
@@ -534,10 +541,12 @@ func (m *Manager) considerPromotion(rowID uint64, coreID int) {
 			grp.migrating = false
 			grp.pin(slot)
 			m.Stats.Faults.PinnedRows++
+			m.noteFault("pinned slow", int64(rowID))
 			m.consecAbandoned++
 			if m.consecAbandoned >= migBreakerThreshold && !m.migBreaker {
 				m.migBreaker = true
 				m.Stats.Faults.MigBreakerTrips++
+				m.noteFault("migration breaker trip", -1)
 			}
 			return
 		}

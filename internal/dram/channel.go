@@ -89,6 +89,9 @@ func (ch *Channel) Activate(t sim.Time, rank, bank, row int, cls RowClass) {
 	r := ch.ranks[rank]
 	r.banks[bank].activate(t, row, cls, p)
 	r.recordAct(t, p.Duration(p.TRRD))
+	if tel := ch.dev.tel; tel != nil {
+		tel.noteActivate(cls, p.Duration(p.TRCD))
+	}
 }
 
 // CanRead reports whether RD(rank, bank) may issue at t.
@@ -107,6 +110,10 @@ func (ch *Channel) Read(t sim.Time, rank, bank int) sim.Time {
 	b := ch.ranks[rank].banks[bank]
 	end := b.read(t)
 	ch.claimBus(end, rank, busRead)
+	if tel := ch.dev.tel; tel != nil {
+		tel.rd.Inc()
+		tel.occRD.Add(uint64(end - t))
+	}
 	return end
 }
 
@@ -129,6 +136,10 @@ func (ch *Channel) Write(t sim.Time, rank, bank int) sim.Time {
 	p := b.rowPar
 	r.noteWriteBurst(end, p.Duration(p.TWTR))
 	ch.claimBus(end, rank, busWrite)
+	if tel := ch.dev.tel; tel != nil {
+		tel.wr.Inc()
+		tel.occWR.Add(uint64(end - t))
+	}
 	return end
 }
 
@@ -139,7 +150,13 @@ func (ch *Channel) CanPrecharge(t sim.Time, rank, bank int) bool {
 
 // Precharge issues PRE at t.
 func (ch *Channel) Precharge(t sim.Time, rank, bank int) {
-	ch.ranks[rank].banks[bank].precharge(t)
+	b := ch.ranks[rank].banks[bank]
+	b.precharge(t)
+	if tel := ch.dev.tel; tel != nil {
+		p := b.rowPar
+		tel.pre.Inc()
+		tel.occPRE.Add(uint64(p.Duration(p.TRP)))
+	}
 }
 
 // RefreshDue reports whether rank owes a refresh at t.
@@ -156,6 +173,10 @@ func (ch *Channel) CanRefresh(t sim.Time, rank int) bool {
 func (ch *Channel) Refresh(t sim.Time, rank int) {
 	p := &ch.dev.slow
 	ch.ranks[rank].refresh(t, p.Duration(p.TRFC), p.Duration(p.TREFI))
+	if tel := ch.dev.tel; tel != nil {
+		tel.ref.Inc()
+		tel.occREF.Add(uint64(p.Duration(p.TRFC)))
+	}
 }
 
 // CanMigrate reports whether a migration of srcRow may start on
@@ -170,5 +191,9 @@ func (ch *Channel) CanMigrate(t sim.Time, rank, bank, srcRow int) bool {
 func (ch *Channel) Migrate(t sim.Time, rank, bank int) sim.Time {
 	b := ch.ranks[rank].banks[bank]
 	b.migrate(t, ch.dev.migrationLatency)
+	if tel := ch.dev.tel; tel != nil {
+		tel.mig.Inc()
+		tel.occMIG.Add(uint64(ch.dev.migrationLatency))
+	}
 	return t + ch.dev.migrationLatency
 }

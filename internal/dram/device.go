@@ -39,6 +39,10 @@ type Device struct {
 	slow, fast       timing.Params
 	migrationLatency sim.Time
 	channels         []*Channel
+
+	// tel is the live instrument set (nil = telemetry off, the default;
+	// see AttachTelemetry).
+	tel *deviceTelemetry
 }
 
 // New validates cfg and builds the device.

@@ -1,0 +1,50 @@
+package dram
+
+import (
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// deviceTelemetry is the device's live instrument set: per-command
+// counts and per-command-class timing occupancy (how much bank time, in
+// picoseconds, each command class consumed). All fields are
+// nil-receiver-safe instruments, but the device keeps the whole struct
+// behind a nil pointer so the uninstrumented hot path pays exactly one
+// branch per command.
+type deviceTelemetry struct {
+	act, actFast, rd, wr, pre, ref, mig          *telemetry.Counter
+	occACT, occRD, occWR, occPRE, occREF, occMIG *telemetry.Counter
+}
+
+// AttachTelemetry registers the device's command counters and occupancy
+// sums on reg. Call once at assembly time, before traffic; a nil
+// registry leaves the device uninstrumented (the default).
+func (d *Device) AttachTelemetry(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	d.tel = &deviceTelemetry{
+		act:     reg.Counter("dram.cmd.act"),
+		actFast: reg.Counter("dram.cmd.act_fast"),
+		rd:      reg.Counter("dram.cmd.rd"),
+		wr:      reg.Counter("dram.cmd.wr"),
+		pre:     reg.Counter("dram.cmd.pre"),
+		ref:     reg.Counter("dram.cmd.ref"),
+		mig:     reg.Counter("dram.cmd.mig"),
+		occACT:  reg.Counter("dram.occupancy_ps.act"),
+		occRD:   reg.Counter("dram.occupancy_ps.rd"),
+		occWR:   reg.Counter("dram.occupancy_ps.wr"),
+		occPRE:  reg.Counter("dram.occupancy_ps.pre"),
+		occREF:  reg.Counter("dram.occupancy_ps.ref"),
+		occMIG:  reg.Counter("dram.occupancy_ps.mig"),
+	}
+}
+
+// noteActivate records an ACT of class cls whose row-open takes tRCD.
+func (t *deviceTelemetry) noteActivate(cls RowClass, trcd sim.Time) {
+	t.act.Inc()
+	if cls == RowFast {
+		t.actFast.Inc()
+	}
+	t.occACT.Add(uint64(trcd))
+}

@@ -56,7 +56,11 @@ func (s *Session) faultPoint(cfg config.Config) (*faultRow, error) {
 		f.TableRefetches += res.Faults.TableRefetches
 		f.MigBreakerTrips += res.Faults.MigBreakerTrips
 	}
-	row.improvement = stats.GmeanImprovement(ratios)
+	imp, err := stats.GmeanImprovementErr(ratios)
+	if err != nil {
+		return nil, fmt.Errorf("fault-sweep gmean: %w", err)
+	}
+	row.improvement = imp
 	return row, nil
 }
 

@@ -106,7 +106,11 @@ func (s *Session) improvementFigure(id, title string, cfg config.Config, sets []
 	}
 	gm := []string{"gmean"}
 	for _, d := range comparisonDesigns {
-		gm = append(gm, fmt.Sprintf("%+.2f%%", stats.GmeanImprovement(ratios[d])))
+		imp, err := stats.GmeanImprovementErr(ratios[d])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v gmean: %w", id, d, err)
+		}
+		gm = append(gm, fmt.Sprintf("%+.2f%%", imp))
 	}
 	tbl.AddRow(gm...)
 	tbl.Caption = "Performance improvement over Standard (homogeneous) DRAM."
@@ -254,7 +258,11 @@ func (s *Session) Fig8() (*Figure, error) {
 	}
 	gm := []string{"gmean"}
 	for _, th := range FilterThresholds {
-		gm = append(gm, fmt.Sprintf("%+.2f%%", stats.GmeanImprovement(ratios[th])))
+		imp, err := stats.GmeanImprovementErr(ratios[th])
+		if err != nil {
+			return nil, fmt.Errorf("Fig8: threshold %d gmean: %w", th, err)
+		}
+		gm = append(gm, fmt.Sprintf("%+.2f%%", imp))
 	}
 	perf.AddRow(gm...)
 	return &Figure{
@@ -289,7 +297,11 @@ func (s *Session) sweepFigure(id, title string, variants []config.Config, colNam
 	}
 	gm := []string{"gmean"}
 	for vi := range variants {
-		gm = append(gm, fmt.Sprintf("%+.2f%%", stats.GmeanImprovement(ratios[vi])))
+		imp, err := stats.GmeanImprovementErr(ratios[vi])
+		if err != nil {
+			return nil, fmt.Errorf("%s: variant %d gmean: %w", id, vi, err)
+		}
+		gm = append(gm, fmt.Sprintf("%+.2f%%", imp))
 	}
 	tbl.AddRow(gm...)
 	return &Figure{ID: id, Title: title, Tables: []*stats.Table{tbl}}, nil

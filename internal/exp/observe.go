@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// ObserveOptions selects what a session's runs record. The zero value
+// records nothing; a Session with a nil Observe field (the default)
+// builds completely uninstrumented systems, so the simulation hot path
+// keeps its nil-telemetry fast path.
+type ObserveOptions struct {
+	// Metrics enables the per-run registry and its epoch timeline.
+	Metrics bool
+	// Trace enables Chrome trace-event recording (DRAM commands,
+	// migrations, fault events on per-bank tracks).
+	Trace bool
+	// IntervalPS is the timeline epoch length in picoseconds of
+	// simulated time (default DefaultIntervalPS). Snapshots are taken
+	// from the host run loop at its existing observation stride, so the
+	// effective boundary quantizes to that stride; recorded epoch times
+	// are the actual simulated instants and stay deterministic.
+	IntervalPS int64
+}
+
+// DefaultIntervalPS is the default timeline epoch: 100 µs of simulated
+// time, a few dozen epochs for the default instruction quotas.
+const DefaultIntervalPS = 100_000_000
+
+// Observer is one run's telemetry bundle. Runs execute in parallel
+// goroutines, so each owns a private registry/recorder/timeline; sinks
+// merge completed observers sorted by run label, which is unique per
+// (design, benchmarks, sweep-knobs) and keeps merged output independent
+// of host scheduling.
+type Observer struct {
+	Label    string
+	Reg      *telemetry.Registry
+	Trace    *telemetry.TraceRecorder
+	Timeline *telemetry.Timeline
+
+	nextSnapPS int64
+}
+
+// newObserver builds the per-run bundle for the session's options.
+func newObserver(label string, opt *ObserveOptions) *Observer {
+	if opt == nil || (!opt.Metrics && !opt.Trace) {
+		return nil
+	}
+	o := &Observer{Label: label}
+	interval := opt.IntervalPS
+	if interval <= 0 {
+		interval = DefaultIntervalPS
+	}
+	if opt.Metrics {
+		o.Reg = telemetry.New()
+		o.Timeline = &telemetry.Timeline{Label: label, IntervalPS: interval}
+		o.nextSnapPS = interval
+	}
+	if opt.Trace {
+		o.Trace = telemetry.NewTraceRecorder(label)
+	}
+	return o
+}
+
+// maybeSnap takes an epoch snapshot when simulated time has crossed the
+// next boundary. Called from the host run loop only — never from engine
+// events — so observation cannot perturb simulation ordering.
+func (o *Observer) maybeSnap(nowPS int64) {
+	if o == nil || o.Timeline == nil || nowPS < o.nextSnapPS {
+		return
+	}
+	o.Timeline.Snap(nowPS, o.Reg)
+	interval := o.Timeline.IntervalPS
+	o.nextSnapPS = (nowPS/interval + 1) * interval
+}
+
+// finish takes the end-of-run snapshot.
+func (o *Observer) finish(nowPS int64) {
+	if o == nil || o.Timeline == nil {
+		return
+	}
+	o.Timeline.Snap(nowPS, o.Reg)
+}
+
+// AttachObserver instruments every component of the system with obs
+// (nil = leave the system uninstrumented). Call between Build and Run.
+func (s *System) AttachObserver(obs *Observer) {
+	if obs == nil {
+		return
+	}
+	s.obs = obs
+	reg := obs.Reg
+	s.Dev.AttachTelemetry(reg)
+	s.Ctl.AttachTelemetry(reg, obs.Trace)
+	s.Mgr.AttachTelemetry(reg, obs.Trace)
+	if inj := s.Mgr.Faults(); inj != nil {
+		inj.AttachTelemetry(reg)
+	}
+	s.LLC.AttachTelemetry(reg)
+	for _, c := range s.L2s {
+		c.AttachTelemetry(reg)
+	}
+	for _, c := range s.L1s {
+		c.AttachTelemetry(reg)
+	}
+	if reg.Enabled() {
+		reg.Sample("sim.events_executed", func() int64 { return int64(s.Eng.Executed()) })
+	}
+}
+
+// observerSet collects completed observers across a session's parallel
+// runs and renders the merged sinks.
+type observerSet struct {
+	mu   sync.Mutex
+	list []*Observer
+}
+
+func (os *observerSet) add(o *Observer) {
+	if o == nil {
+		return
+	}
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	os.list = append(os.list, o)
+}
+
+// Observers returns the completed observers of this session's fresh
+// runs, in completion order (sinks sort by label themselves).
+func (s *Session) Observers() []*Observer {
+	s.observers.mu.Lock()
+	defer s.observers.mu.Unlock()
+	return append([]*Observer(nil), s.observers.list...)
+}
+
+// timelines extracts the non-nil timelines.
+func (s *Session) timelines() []*telemetry.Timeline {
+	var ts []*telemetry.Timeline
+	for _, o := range s.Observers() {
+		if o.Timeline != nil {
+			ts = append(ts, o.Timeline)
+		}
+	}
+	return ts
+}
+
+// WriteTimelineCSV writes the merged epoch timeline of every observed
+// run as long-form CSV (run,epoch_ns,metric,value).
+func (s *Session) WriteTimelineCSV(w io.Writer) error {
+	return telemetry.EncodeTimelinesCSV(w, s.timelines())
+}
+
+// WriteTimelineJSON writes the merged epoch timeline as JSON.
+func (s *Session) WriteTimelineJSON(w io.Writer) error {
+	return telemetry.EncodeTimelinesJSON(w, s.timelines())
+}
+
+// WriteTrace writes every observed run's events as one Chrome
+// trace-event JSON document (loadable in Perfetto / chrome://tracing).
+func (s *Session) WriteTrace(w io.Writer) error {
+	var recs []*telemetry.TraceRecorder
+	for _, o := range s.Observers() {
+		if o.Trace != nil {
+			recs = append(recs, o.Trace)
+		}
+	}
+	return telemetry.EncodeTrace(w, recs)
+}
+
+// PublishTo pushes every observed run's final snapshot into p (the
+// debug HTTP endpoint's store).
+func (s *Session) PublishTo(p *telemetry.Publisher) {
+	for _, o := range s.Observers() {
+		if o.Reg != nil {
+			p.Publish(o.Label, o.Reg.Snapshot(nil))
+		}
+	}
+}

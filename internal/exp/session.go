@@ -26,9 +26,17 @@ type Session struct {
 	// (empty = all eight).
 	Mixes []string
 
+	// Observe, when non-nil, makes every fresh run record telemetry
+	// (metrics timeline and/or Chrome trace) into a per-run Observer;
+	// completed observers are collected for the session sinks (see
+	// WriteTimelineCSV, WriteTrace). Nil (the default) builds fully
+	// uninstrumented systems. Set before the first run.
+	Observe *ObserveOptions
+
 	mu        sync.Mutex
 	baselines map[string]*baselineEntry
 	results   map[string]*resultEntry
+	observers observerSet
 
 	// events totals engine events executed by this session's fresh runs
 	// (cache hits add nothing), feeding the per-figure events/sec
@@ -95,12 +103,18 @@ func (s *Session) EventsExecuted() uint64 { return s.events.Load() }
 func (s *Session) Baseline(benchmarks []string) (*Result, error) {
 	e := s.entry(benchmarks)
 	e.once.Do(func() {
-		sys, _, err := Build(s.cfgFor(benchmarks), core.Standard, benchmarks, nil, false)
+		cfg := s.cfgFor(benchmarks)
+		sys, _, err := Build(cfg, core.Standard, benchmarks, nil, false)
 		if err != nil {
 			e.err = err
 			return
 		}
+		obs := newObserver(resultKey(cfg, core.Standard, benchmarks), s.Observe)
+		sys.AttachObserver(obs)
 		e.res, e.err = sys.Run()
+		if e.err == nil {
+			s.observers.add(obs)
+		}
 		if e.res != nil {
 			s.events.Add(e.res.Events)
 		}
@@ -154,7 +168,12 @@ func (s *Session) Run(cfg config.Config, design core.Design, benchmarks []string
 	if err != nil {
 		return nil, err
 	}
+	obs := newObserver(resultKey(cfg, design, benchmarks), s.Observe)
+	sys.AttachObserver(obs)
 	res, err := sys.Run()
+	if err == nil {
+		s.observers.add(obs)
+	}
 	if res != nil {
 		s.events.Add(res.Events)
 	}

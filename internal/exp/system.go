@@ -35,6 +35,9 @@ type System struct {
 	remaining int
 	warmupsTo int
 
+	// obs is this run's telemetry bundle (nil = off; see AttachObserver).
+	obs *Observer
+
 	// Per-core counter snapshots: [core][0]=at warm-up, [1]=at quota.
 	missSnap [][2]uint64
 	promSnap [][2]uint64
@@ -253,6 +256,7 @@ func (s *System) Run() (*Result, error) {
 		if steps&(observeEvery-1) != 0 {
 			continue
 		}
+		s.obs.maybeSnap(int64(s.Eng.Now()))
 		if err := s.Mgr.Err(); err != nil {
 			return nil, fmt.Errorf("exp: manager failed at t=%.0f ns: %w", s.Eng.Now().NS(), err)
 		}
@@ -267,6 +271,7 @@ func (s *System) Run() (*Result, error) {
 	if err := s.Mgr.Err(); err != nil {
 		return nil, fmt.Errorf("exp: manager failed: %w", err)
 	}
+	s.obs.finish(int64(s.Eng.Now()))
 	return s.collect(), nil
 }
 

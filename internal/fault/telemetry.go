@@ -1,0 +1,20 @@
+package fault
+
+import (
+	"repro/internal/telemetry"
+)
+
+// AttachTelemetry exposes the injector's fired-fault counters on reg,
+// sampled from Stats at snapshot time. These count *injected* faults
+// (decisions that returned true); the management path's counters (see
+// core.FaultStats, exported as core.faults.*) count how each one was
+// *absorbed* — retried, re-fetched, pinned, or fenced. Comparing the
+// two is the quickest way to check that degradation stayed graceful.
+func (i *Injector) AttachTelemetry(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Sample("fault.injected.mig_failures", func() int64 { return int64(i.Stats.MigFailures) })
+	reg.Sample("fault.injected.tag_corruptions", func() int64 { return int64(i.Stats.TagCorruptions) })
+	reg.Sample("fault.injected.table_corruptions", func() int64 { return int64(i.Stats.TableCorruptions) })
+}

@@ -74,6 +74,10 @@ type Controller struct {
 	dev   *dram.Device
 	chans []*chanCtl
 
+	// tel is the live instrument set (nil = telemetry off, the default;
+	// see AttachTelemetry).
+	tel *mcTelemetry
+
 	Stats Stats
 }
 
@@ -274,7 +278,11 @@ func (cc *chanCtl) closeIdleRows(t sim.Time) bool {
 				continue
 			}
 			if cc.ch.CanPrecharge(t, r, b) {
+				cls := bank.OpenClass()
 				cc.ch.Precharge(t, r, b)
+				if tel := cc.ctl.tel; tel != nil {
+					tel.notePRE(t, cc.idx, r, b, cls, false)
+				}
 				return true
 			}
 		}
@@ -339,12 +347,19 @@ func (cc *chanCtl) issueRefresh(t sim.Time) bool {
 		if cc.ch.CanRefresh(t, r) {
 			cc.ch.Refresh(t, r)
 			cc.refreshPending[r] = false
+			if tel := cc.ctl.tel; tel != nil {
+				tel.noteREF(t, cc.idx, r)
+			}
 			return true
 		}
 		for b := 0; b < cc.ctl.dev.Geometry().Banks; b++ {
 			bank := cc.ch.Rank(r).Bank(b)
 			if bank.HasOpenRow() && cc.ch.CanPrecharge(t, r, b) {
+				cls := bank.OpenClass()
 				cc.ch.Precharge(t, r, b)
+				if tel := cc.ctl.tel; tel != nil {
+					tel.notePRE(t, cc.idx, r, b, cls, false)
+				}
 				return true
 			}
 		}
@@ -371,6 +386,9 @@ func (cc *chanCtl) issueMigration(t sim.Time) bool {
 			end := cc.ch.Migrate(t, op.rank, op.bank)
 			cc.ctl.Stats.Migrations++
 			cc.ctl.Stats.MigWaitSum += t - op.enqueued
+			if tel := cc.ctl.tel; tel != nil {
+				tel.noteMIG(t, end, cc.idx, op.rank, op.bank, op.row)
+			}
 			cc.migQ = append(cc.migQ[:qi], cc.migQ[qi+1:]...)
 			cc.unreserve(op)
 			done := op.done
@@ -386,7 +404,11 @@ func (cc *chanCtl) issueMigration(t sim.Time) bool {
 			if t-op.enqueued < migGrace && cc.pendingRowHit(op.rank, op.bank, bank.OpenRow()) {
 				continue
 			}
+			cls := bank.OpenClass()
 			cc.ch.Precharge(t, op.rank, op.bank)
+			if tel := cc.ctl.tel; tel != nil {
+				tel.notePRE(t, cc.idx, op.rank, op.bank, cls, false)
+			}
 			return true
 		}
 	}
@@ -492,12 +514,18 @@ func (cc *chanCtl) issueColumnFrom(t sim.Time, q []*Request, isWrite bool) bool 
 			if !cc.ch.CanWrite(t, req.Coord.Rank, req.Coord.Bank) {
 				continue
 			}
-			cc.ch.Write(t, req.Coord.Rank, req.Coord.Bank)
+			end := cc.ch.Write(t, req.Coord.Rank, req.Coord.Bank)
+			if tel := cc.ctl.tel; tel != nil {
+				tel.noteColumn(t, end, cc.idx, req, true)
+			}
 		} else {
 			if !cc.ch.CanRead(t, req.Coord.Rank, req.Coord.Bank) {
 				continue
 			}
 			end := cc.ch.Read(t, req.Coord.Rank, req.Coord.Bank)
+			if tel := cc.ctl.tel; tel != nil {
+				tel.noteColumn(t, end, cc.idx, req, false)
+			}
 			cc.completeRead(req, end)
 		}
 		cc.account(req, isWrite)
@@ -539,7 +567,11 @@ func (cc *chanCtl) issueRowCommandFrom(t sim.Time, q []*Request) bool {
 				continue // row hit handled by issueColumn
 			}
 			if cc.ch.CanPrecharge(t, req.Coord.Rank, req.Coord.Bank) {
+				cls := bank.OpenClass()
 				cc.ch.Precharge(t, req.Coord.Rank, req.Coord.Bank)
+				if tel := cc.ctl.tel; tel != nil {
+					tel.notePRE(t, cc.idx, req.Coord.Rank, req.Coord.Bank, cls, true)
+				}
 				return true
 			}
 			continue
@@ -547,6 +579,9 @@ func (cc *chanCtl) issueRowCommandFrom(t sim.Time, q []*Request) bool {
 		if cc.ch.CanActivate(t, req.Coord.Rank, req.Coord.Bank, req.Class) {
 			cc.ch.Activate(t, req.Coord.Rank, req.Coord.Bank, req.Coord.Row, req.Class)
 			req.firstOpen = true
+			if tel := cc.ctl.tel; tel != nil {
+				tel.noteACT(t, cc.idx, req)
+			}
 			return true
 		}
 	}
@@ -611,6 +646,9 @@ func (cc *chanCtl) account(req *Request, isWrite bool) {
 	switch kind {
 	case ServiceRowBuffer:
 		s.ServedRowBuffer++
+		if tel := cc.ctl.tel; tel != nil {
+			tel.rowHits.Inc()
+		}
 	case ServiceFast:
 		s.ServedFast++
 	case ServiceSlow:

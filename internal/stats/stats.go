@@ -11,24 +11,52 @@ import (
 
 // Gmean returns the geometric mean of xs; it panics on non-positive
 // inputs because the paper's gmean columns are over positive speedups.
+// Rendering paths that aggregate measured (possibly degenerate) values
+// should use GmeanErr instead and surface the error.
 func Gmean(xs []float64) float64 {
+	g, err := GmeanErr(xs)
+	if err != nil {
+		panic("stats: " + err.Error())
+	}
+	return g
+}
+
+// GmeanErr returns the geometric mean of xs, or an error naming the
+// first non-positive input (a geometric mean is only defined over
+// positive values). An empty slice yields 0 with no error, matching
+// Gmean.
+func GmeanErr(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
-	for _, x := range xs {
-		if x <= 0 {
-			panic(fmt.Sprintf("stats: gmean over non-positive value %v", x))
+	for i, x := range xs {
+		if x <= 0 || math.IsNaN(x) {
+			return 0, fmt.Errorf("gmean over non-positive value %v at index %d", x, i)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
 }
 
 // GmeanImprovement converts per-workload speedup ratios (design IPC /
 // baseline IPC) into the paper's "performance improvement" percentage.
+// Like Gmean it panics on non-positive ratios; figure rendering uses
+// GmeanImprovementErr.
 func GmeanImprovement(ratios []float64) float64 {
 	return (Gmean(ratios) - 1) * 100
+}
+
+// GmeanImprovementErr is GmeanImprovement with the error path of
+// GmeanErr: a run that produced a zero or negative IPC ratio (a
+// crashed or degenerate measurement) becomes a diagnosable error
+// instead of a panic in the middle of figure rendering.
+func GmeanImprovementErr(ratios []float64) (float64, error) {
+	g, err := GmeanErr(ratios)
+	if err != nil {
+		return 0, err
+	}
+	return (g - 1) * 100, nil
 }
 
 // Mean returns the arithmetic mean.

@@ -28,6 +28,31 @@ func TestGmeanPanicsOnNonPositive(t *testing.T) {
 	Gmean([]float64{1, 0})
 }
 
+func TestGmeanErr(t *testing.T) {
+	if g, err := GmeanErr([]float64{2, 8}); err != nil || math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GmeanErr(2,8) = %v, %v", g, err)
+	}
+	if g, err := GmeanErr(nil); err != nil || g != 0 {
+		t.Fatalf("GmeanErr(empty) = %v, %v", g, err)
+	}
+	for _, bad := range [][]float64{{1, 0}, {1, -2}, {math.NaN()}} {
+		if _, err := GmeanErr(bad); err == nil {
+			t.Errorf("GmeanErr(%v) returned no error", bad)
+		}
+	}
+	// The error names the offending value and index for diagnosis.
+	_, err := GmeanErr([]float64{1, 2, -3})
+	if err == nil || !strings.Contains(err.Error(), "-3") || !strings.Contains(err.Error(), "index 2") {
+		t.Fatalf("error lacks value/index context: %v", err)
+	}
+	if _, err := GmeanImprovementErr([]float64{1.1, 0}); err == nil {
+		t.Fatal("GmeanImprovementErr accepted a zero ratio")
+	}
+	if imp, err := GmeanImprovementErr([]float64{1.1, 1.21}); err != nil || imp <= 0 {
+		t.Fatalf("GmeanImprovementErr = %v, %v", imp, err)
+	}
+}
+
 func TestGmeanImprovement(t *testing.T) {
 	// Two workloads at +10% and +21% -> gmean ratio 1.1533... -> 15.3%.
 	got := GmeanImprovement([]float64{1.10, 1.21})

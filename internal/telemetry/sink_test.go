@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func sampleTimelines() []*Timeline {
+	mk := func(label string) *Timeline {
+		tl := &Timeline{Label: label, IntervalPS: 1_000_000}
+		r := New()
+		c := r.Counter("cmds")
+		c.Add(3)
+		tl.Snap(1_000_000, r)
+		c.Add(4)
+		tl.Snap(2_500_000, r) // 2.5 µs: exercises fractional ns formatting? (ps->ns = 2500)
+		return tl
+	}
+	// Deliberately out of label order to prove the encoder sorts.
+	return []*Timeline{mk("run-b"), mk("run-a")}
+}
+
+func TestTimelineCSVDeterministicAndSorted(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := EncodeTimelinesCSV(&a, sampleTimelines()); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeTimelinesCSV(&b, sampleTimelines()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("CSV output not deterministic across encodes")
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if lines[0] != "run,epoch_ns,metric,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "run-a,") {
+		t.Fatalf("runs not sorted by label: first data row %q", lines[1])
+	}
+	if !strings.Contains(a.String(), "run-a,1000,cmds,3") {
+		t.Fatalf("missing expected row in:\n%s", a.String())
+	}
+}
+
+func TestTimelineJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeTimelinesJSON(&buf, sampleTimelines()); err != nil {
+		t.Fatal(err)
+	}
+	var doc []struct {
+		Run    string `json:"run"`
+		Epochs int    `json:"epochs"`
+		Series []struct {
+			EpochNS float64            `json:"epoch_ns"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc) != 2 || doc[0].Run != "run-a" || doc[1].Run != "run-b" {
+		t.Fatalf("runs wrong or unsorted: %+v", doc)
+	}
+	if doc[0].Epochs != 2 || doc[0].Series[1].Metrics["cmds"] != 7 {
+		t.Fatalf("epoch content wrong: %+v", doc[0])
+	}
+}
+
+func TestCSVFieldQuoting(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"a,b":        `"a,b"`,
+		`say "hi"`:   `"say ""hi"""`,
+		"line\nfeed": "\"line\nfeed\"",
+	}
+	for in, want := range cases {
+		if got := csvField(in); got != want {
+			t.Errorf("csvField(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatPSExact(t *testing.T) {
+	if got := formatPSinNS(1500); got != "1.5" {
+		t.Errorf("formatPSinNS(1500) = %q, want 1.5", got)
+	}
+	if got := formatPSinNS(2_000_000); got != "2000" {
+		t.Errorf("formatPSinNS(2000000) = %q, want 2000", got)
+	}
+	if got := formatMicros(1_234_567); got != "1.234567" {
+		t.Errorf("formatMicros = %q, want 1.234567", got)
+	}
+	if got := formatMicros(3_000_000); got != "3" {
+		t.Errorf("formatMicros = %q, want 3", got)
+	}
+}
+
+// TestTraceEncodeSchema validates a synthetic recorder against the
+// Chrome trace-event shape and pins pid assignment (sorted labels),
+// track metadata, instant scope, and the drop-count annotation.
+func TestTraceEncodeSchema(t *testing.T) {
+	r1 := NewTraceRecorder("zz-late")
+	r1.DefineTrack(0, "bank0")
+	r1.Duration("RD", 1_000_000, 500_000, 0, 17)
+	r2 := NewTraceRecorder("aa-early")
+	r2.MaxEvents = 1
+	r2.Duration("ACT", 0, 2_000_000, 3, -1)
+	r2.Instant("fault", 5, 3, -1) // over cap: dropped
+	if r2.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", r2.Dropped())
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, []*TraceRecorder{r1, nil, r2}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var procs []string
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "M" && e["name"] == "process_name" {
+			procs = append(procs, e["args"].(map[string]any)["name"].(string))
+		}
+	}
+	if len(procs) != 2 || !strings.HasPrefix(procs[0], "aa-early") || procs[1] != "zz-late" {
+		t.Fatalf("process metadata wrong: %v", procs)
+	}
+	if !strings.Contains(procs[0], "[1 events dropped]") {
+		t.Fatalf("drop count not surfaced in process name: %q", procs[0])
+	}
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "RD" {
+			if e["ts"].(float64) != 1 || e["dur"].(float64) != 0.5 {
+				t.Fatalf("RD ts/dur wrong: %v", e)
+			}
+			if e["args"].(map[string]any)["row"].(float64) != 17 {
+				t.Fatalf("RD row arg wrong: %v", e)
+			}
+		}
+	}
+	// Deterministic bytes across encodes.
+	var again bytes.Buffer
+	if err := EncodeTrace(&again, []*TraceRecorder{r1, nil, r2}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("trace encoding not deterministic")
+	}
+}
+
+func TestPublisherEndpoint(t *testing.T) {
+	p := NewPublisher()
+	p.Publish("run-b", []Metric{{Name: "x", Value: 2}})
+	p.Publish("run-a", []Metric{{Name: "y", Value: 3}})
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var runs []struct {
+		Run     string             `json:"run"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0].Run != "run-a" || runs[0].Metrics["y"] != 3 {
+		t.Fatalf("metrics dump wrong: %+v", runs)
+	}
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/", "/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s -> %d", path, resp.StatusCode)
+		}
+	}
+	// nil publisher publish is a safe no-op.
+	var np *Publisher
+	np.Publish("x", nil)
+}

@@ -25,11 +25,21 @@ go test -tags sim_refheap ./internal/sim
 echo "== figure determinism: value-heap vs reference-heap engines"
 # Same figure, both queue implementations, byte-compared: the (at, seq)
 # firing order — not the queue layout — must decide simulation results.
-tmp_quad=$(mktemp) tmp_ref=$(mktemp)
-trap 'rm -f "$tmp_quad" "$tmp_ref"' EXIT
+tmp_quad=$(mktemp) tmp_ref=$(mktemp) tmp_obs=$(mktemp) tmp_sink=$(mktemp)
+trap 'rm -f "$tmp_quad" "$tmp_ref" "$tmp_obs" "$tmp_sink"' EXIT
 go run ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 >"$tmp_quad" 2>/dev/null
 go run -tags sim_refheap ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 >"$tmp_ref" 2>/dev/null
 cmp "$tmp_quad" "$tmp_ref"
+
+echo "== telemetry determinism: observed run renders identical figures"
+# Same figure with the full telemetry stack enabled (metrics timeline +
+# trace export): the rendered figure must be byte-identical to the
+# uninstrumented run, proving observation never perturbs simulation.
+go run ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 \
+    -metrics-out "$tmp_sink" -timeline "$tmp_sink.trace" >"$tmp_obs" 2>/dev/null
+cmp "$tmp_quad" "$tmp_obs"
+test -s "$tmp_sink" && test -s "$tmp_sink.trace"
+rm -f "$tmp_sink.trace"
 
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz FuzzScheduleOrder -fuzztime 10s ./internal/sim
@@ -37,6 +47,14 @@ go test -run '^$' -fuzz FuzzConfigJSON -fuzztime 10s ./internal/config
 
 echo "== benchmark smoke (1 iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
+
+echo "== bench regression gate (benchjson -compare vs BENCH_baseline.json)"
+# BenchmarkFig7a at the baseline's iteration count, gated against the
+# checked-in acceptance numbers: events/s may not drop more than 10%
+# (skipped automatically on a different CPU) and allocs/op may not rise
+# more than 10% (gated everywhere).
+go test -run '^$' -bench '^BenchmarkFig7a$' -benchmem -benchtime 3x . |
+    go run ./cmd/benchjson -compare BENCH_baseline.json
 
 echo "== fault-sweep smoke (dasbench -fig faults)"
 # Tiny instruction budget: exercises every sweep point — including the
