@@ -11,10 +11,13 @@
 # the checked-in baseline, failing on >10% events/s drop or >10%
 # allocs/op rise:
 #   make bench-compare
+# Cross-design attribution report (where each request's nanoseconds go
+# and why standard != das); regenerates the committed results_explain.txt:
+#   make explain
 
 GO ?= go
 
-.PHONY: build test check vet bench bench-compare clean
+.PHONY: build test check vet bench bench-compare explain clean
 
 build:
 	$(GO) build ./...
@@ -36,6 +39,10 @@ bench:
 bench-compare:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig7a$$' -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_baseline.json
+
+explain:
+	$(GO) run ./cmd/dasbench -explain standard,das -benchmarks mcf,soplex \
+		-instr 200000 -out results_explain.txt
 
 clean:
 	$(GO) clean ./...

@@ -15,10 +15,10 @@
 // a baseline document (either the flat {context, benchmarks} shape or
 // BENCH_baseline.json's nested {pre, post} shape, in which case "post"
 // is the reference). The command exits nonzero if any benchmark present
-// in both documents regresses: events/s dropping more than 10% or
-// allocs/op rising more than 10%. Throughput (events/s) is only gated
-// when the baseline was captured on the same CPU; allocation counts are
-// machine-independent and always gated.
+// in both documents regresses: events/s dropping more than -tolerance
+// (default 10%) or allocs/op rising more than that. Throughput
+// (events/s) is only gated when the baseline was captured on the same
+// CPU; allocation counts are machine-independent and always gated.
 package main
 
 import (
@@ -54,6 +54,7 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	outPath := flag.String("out", "", "write JSON to this file instead of stdout")
 	comparePath := flag.String("compare", "", "compare stdin's benchmarks against this baseline JSON and exit nonzero on regression")
+	tolerance := flag.Float64("tolerance", 0.10, "regression tolerance for -compare as a fraction (0.10 = events/s may drop 10%, allocs/op may rise 10%)")
 	flag.Parse()
 
 	doc := document{Context: map[string]string{}, Benchmarks: []benchmark{}}
@@ -85,6 +86,10 @@ func main() {
 	})
 
 	if *comparePath != "" {
+		minEPS, maxAllocs, err := thresholds(*tolerance)
+		if err != nil {
+			log.Fatal(err)
+		}
 		raw, err := os.ReadFile(*comparePath)
 		if err != nil {
 			log.Fatal(err)
@@ -93,7 +98,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", *comparePath, err)
 		}
-		report, regressions := compare(doc, base)
+		report, regressions := compare(doc, base, minEPS, maxAllocs)
 		for _, line := range report {
 			fmt.Fprintln(os.Stderr, "benchjson: "+line)
 		}
@@ -144,19 +149,26 @@ func loadBaseline(raw []byte) (document, error) {
 	return doc, nil
 }
 
-// Regression thresholds: fail when throughput falls below 90% of the
-// baseline or allocations rise above 110% of it.
-const (
-	minThroughputRatio = 0.90
-	maxAllocRatio      = 1.10
-)
+// thresholds derives the regression gates from a tolerance fraction:
+// throughput may fall to (1-tol) of the baseline, allocations may rise
+// to (1+tol). A tolerance that is not a finite value in [0, 1) cannot
+// express a gate (1.0 would allow throughput to reach zero) and is
+// rejected.
+func thresholds(tol float64) (minThroughputRatio, maxAllocRatio float64, err error) {
+	// NaN fails every comparison, so test for the valid range directly.
+	if !(tol >= 0 && tol < 1) {
+		return 0, 0, fmt.Errorf("tolerance must be in [0, 1), got %v", tol)
+	}
+	return 1 - tol, 1 + tol, nil
+}
 
 // compare checks cur against base benchmark-by-benchmark and returns a
 // human-readable report plus the number of gated regressions. Only
 // benchmarks present in both documents are gated; events/s is skipped
 // (with a note) when the two documents were captured on different CPUs,
 // since wall-clock throughput does not transfer across machines.
-func compare(cur, base document) (report []string, regressions int) {
+// minThroughputRatio/maxAllocRatio come from thresholds.
+func compare(cur, base document, minThroughputRatio, maxAllocRatio float64) (report []string, regressions int) {
 	sameCPU := cur.Context["cpu"] != "" && cur.Context["cpu"] == base.Context["cpu"]
 	baseByName := make(map[string]benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {

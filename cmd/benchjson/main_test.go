@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -57,23 +58,33 @@ func mkDoc(cpu string, eps, allocs float64) document {
 	}
 }
 
+// compareDefault runs compare at the default 10% tolerance.
+func compareDefault(t *testing.T, cur, base document) ([]string, int) {
+	t.Helper()
+	minEPS, maxAllocs, err := thresholds(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return compare(cur, base, minEPS, maxAllocs)
+}
+
 func TestCompareGates(t *testing.T) {
 	base := mkDoc("cpu-x", 1000, 100)
 
 	// Within thresholds on the same CPU: clean.
-	if report, n := compare(mkDoc("cpu-x", 950, 105), base); n != 0 {
+	if report, n := compareDefault(t, mkDoc("cpu-x", 950, 105), base); n != 0 {
 		t.Fatalf("in-threshold run flagged: %v", report)
 	}
 	// Throughput drop beyond 10%: regression.
-	if report, n := compare(mkDoc("cpu-x", 850, 100), base); n != 1 || !strings.Contains(strings.Join(report, "\n"), "events/s") {
+	if report, n := compareDefault(t, mkDoc("cpu-x", 850, 100), base); n != 1 || !strings.Contains(strings.Join(report, "\n"), "events/s") {
 		t.Fatalf("throughput drop not gated: n=%d %v", n, report)
 	}
 	// Allocation rise beyond 10%: regression, even across CPUs.
-	if _, n := compare(mkDoc("cpu-y", 10, 120), base); n != 1 {
+	if _, n := compareDefault(t, mkDoc("cpu-y", 10, 120), base); n != 1 {
 		t.Fatalf("alloc rise across CPUs: n=%d, want 1", n)
 	}
 	// Different CPU: throughput skipped with a note, allocs still gated.
-	report, n := compare(mkDoc("cpu-y", 10, 100), base)
+	report, n := compareDefault(t, mkDoc("cpu-y", 10, 100), base)
 	if n != 0 {
 		t.Fatalf("cross-CPU throughput gated: %v", report)
 	}
@@ -82,7 +93,51 @@ func TestCompareGates(t *testing.T) {
 	}
 	// Nothing matched at all: that itself is a failure.
 	empty := document{Context: map[string]string{"cpu": "cpu-x"}}
-	if _, n := compare(empty, base); n != 1 {
+	if _, n := compareDefault(t, empty, base); n != 1 {
 		t.Fatalf("empty run passed: n=%d", n)
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	minEPS, maxAllocs, err := thresholds(0.10)
+	if err != nil || minEPS != 0.90 || maxAllocs != 1.10 {
+		t.Fatalf("thresholds(0.10) = %v, %v, %v", minEPS, maxAllocs, err)
+	}
+	// Zero tolerance is valid: any change at all regresses.
+	if minEPS, maxAllocs, err = thresholds(0); err != nil || minEPS != 1 || maxAllocs != 1 {
+		t.Fatalf("thresholds(0) = %v, %v, %v", minEPS, maxAllocs, err)
+	}
+	// Invalid values: negative, >= 1 (would gate nothing or allow zero
+	// throughput), NaN and infinities.
+	for _, tol := range []float64{-0.1, 1, 1.5, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, _, err := thresholds(tol); err == nil {
+			t.Fatalf("thresholds(%v) accepted", tol)
+		}
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	base := mkDoc("cpu-x", 1000, 100)
+	cur := mkDoc("cpu-x", 850, 115) // -15% throughput, +15% allocs
+
+	// Default 10%: both metrics regress.
+	if report, n := compareDefault(t, cur, base); n != 2 {
+		t.Fatalf("10%% tolerance: n=%d, want 2: %v", n, report)
+	}
+	// Loosened to 20%: both pass.
+	minEPS, maxAllocs, err := thresholds(0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report, n := compare(cur, base, minEPS, maxAllocs); n != 0 {
+		t.Fatalf("20%% tolerance: n=%d, want 0: %v", n, report)
+	}
+	// Tightened to 0%: even a within-10% drift regresses.
+	minEPS, maxAllocs, err = thresholds(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, n := compare(mkDoc("cpu-x", 999, 101), base, minEPS, maxAllocs); n != 2 {
+		t.Fatalf("0%% tolerance: n=%d, want 2", n)
 	}
 }

@@ -8,6 +8,7 @@
 //	dasbench -fig all -out results.txt
 //	dasbench -fig 7d -instr 2000000
 //	dasbench -fig 7a -cpuprofile cpu.pprof -memprofile mem.pprof
+//	dasbench -explain standard,das -out results_explain.txt
 //
 // Figure text goes to stdout (and -out) and is byte-stable: it is the
 // golden artifact asserted by internal/exp's regression tests. All
@@ -16,18 +17,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
+	"syscall"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/telemetry"
 )
@@ -62,6 +67,9 @@ func run() error {
 		timelineOut = flag.String("timeline", "", "write simulated DRAM/migration/fault events as Chrome trace-event JSON (load in Perfetto or chrome://tracing) to this file")
 		epochMS     = flag.Float64("timeline-interval", 0.1, "metric snapshot epoch in simulated milliseconds")
 		httpAddr    = flag.String("http", "", "serve a debug endpoint (completed-run /metrics, /debug/vars, /debug/pprof) on this address, e.g. :8080")
+		reqTraceN   = flag.Int("reqtrace", 0, "trace one in N measured demand loads per core through the hierarchy (0 = off; never changes figure output)")
+		reqTraceOut = flag.String("reqtrace-out", "", "write per-run latency-attribution waterfalls to this file (.json = JSON, anything else = CSV)")
+		explainSel  = flag.String("explain", "", "two designs 'A,B' (e.g. standard,das): run both with request tracing and print a ranked why-A≠B attribution report")
 
 		// Fault injection (DAS management path; all rates zero = perfect
 		// device). The -fig faults sweep varies these itself.
@@ -161,11 +169,24 @@ func run() error {
 	if *mixSel != "" {
 		s.Mixes = strings.Split(*mixSel, ",")
 	}
-	if *metricsOut != "" || *timelineOut != "" || *httpAddr != "" {
+	var explainA, explainB core.Design
+	if *explainSel != "" {
+		// Parse up front so a bad design pair fails before any figure runs.
+		var err error
+		if explainA, explainB, err = parseExplain(*explainSel); err != nil {
+			return err
+		}
+	}
+	traceEvery := *reqTraceN
+	if *explainSel != "" && traceEvery <= 0 {
+		traceEvery = 1 // -explain needs the flight recorder; default to every load
+	}
+	if *metricsOut != "" || *timelineOut != "" || *httpAddr != "" || traceEvery > 0 {
 		s.Observe = &exp.ObserveOptions{
 			Metrics:    *metricsOut != "" || *httpAddr != "",
 			Trace:      *timelineOut != "",
 			IntervalPS: int64(*epochMS * 1e9),
+			ReqTraceN:  traceEvery,
 		}
 	}
 	var pub *telemetry.Publisher
@@ -176,20 +197,59 @@ func run() error {
 			return err
 		}
 		log.Printf("debug endpoint: http://%s/", addr)
+		defer pub.Shutdown(context.Background())
 	}
+
+	// Ctrl-C / SIGTERM interrupts between figures: the loop below stops
+	// starting new work and the sink writers further down still run, so
+	// whatever completed is flushed instead of dropped. A second signal
+	// kills the process via the default handler (stop() reinstalls it).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	wanted := strings.Split(*figs, ",")
 	if *figs == "all" {
 		wanted = []string{"table1", "table2", "area", "7a", "7b", "7c", "7d", "7e", "7f", "8", "9a", "9b", "9c", "9d", "power"}
 	} else if *figs == "tables" {
 		wanted = []string{"table1", "table2", "area"}
 	}
+	if *explainSel != "" && !flagVisited("fig") {
+		wanted = nil // -explain alone skips the default tables
+	}
 
 	perfCSV := "figure,wall_seconds,events,events_per_sec,alloc_bytes,alloc_objects\n"
 	for _, name := range wanted {
+		if ctx.Err() != nil {
+			log.Print("interrupted; flushing sinks")
+			break
+		}
 		name = strings.TrimSpace(strings.ToLower(name))
 		fig, err := s.Measured(func() (*exp.Figure, error) { return dispatch(s, cfg, name) })
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprint(out, fig.Render())
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, fig); err != nil {
+				return err
+			}
+		}
+		log.Printf("%s: %s", fig.ID, fig.Perf)
+		perfCSV += fmt.Sprintf("%s,%.3f,%d,%.0f,%d,%d\n",
+			fig.ID, fig.Perf.Wall.Seconds(), fig.Perf.Events,
+			fig.Perf.EventsPerSec(), fig.Perf.AllocBytes, fig.Perf.AllocObjects)
+		if pub != nil {
+			s.PublishTo(pub)
+		}
+	}
+	if *explainSel != "" && ctx.Err() == nil {
+		fig, err := s.Measured(func() (*exp.Figure, error) { return s.Explain(explainA, explainB) })
+		if err != nil {
+			return fmt.Errorf("explain: %w", err)
 		}
 		fmt.Fprint(out, fig.Render())
 		if *csvDir != "" {
@@ -210,6 +270,16 @@ func run() error {
 			return err
 		}
 	}
+	if *reqTraceOut != "" {
+		if err := writeSink(*reqTraceOut, func(w io.Writer) error {
+			if strings.HasSuffix(*reqTraceOut, ".json") {
+				return s.WriteReqTraceJSON(w)
+			}
+			return s.WriteReqTraceCSV(w)
+		}); err != nil {
+			return fmt.Errorf("reqtrace-out: %w", err)
+		}
+	}
 	if *metricsOut != "" {
 		if err := writeSink(*metricsOut, func(w io.Writer) error {
 			if strings.HasSuffix(*metricsOut, ".json") {
@@ -226,6 +296,34 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// flagVisited reports whether the named flag was set on the command line.
+func flagVisited(name string) bool {
+	seen := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			seen = true
+		}
+	})
+	return seen
+}
+
+// parseExplain parses the -explain "A,B" design pair.
+func parseExplain(sel string) (core.Design, core.Design, error) {
+	parts := strings.Split(sel, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("explain: want two designs 'A,B', got %q", sel)
+	}
+	da, err := core.ParseDesign(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("explain: %w", err)
+	}
+	db, err := core.ParseDesign(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("explain: %w", err)
+	}
+	return da, db, nil
 }
 
 // writeSink creates path and streams one telemetry sink into it.

@@ -196,6 +196,9 @@ func (c *Cache) lookup(req *mem.Request) {
 	}
 	if m, ok := c.mshrs[block]; ok {
 		c.Stats.Coalesced++
+		if req.Trace != nil {
+			req.Trace.StampMerge(c.eng.Now())
+		}
 		m.waiters = append(m.waiters, req)
 		return
 	}
@@ -228,6 +231,10 @@ func (c *Cache) allocateMSHR(block uint64, req *mem.Request) {
 	m.fillReq.Core = req.Core
 	m.fillReq.Meta = req.Meta
 	m.fillReq.Issued = c.eng.Now()
+	// The fill inherits the leader's span so the lower levels keep
+	// stamping the same record; cleared again in fill before the slot is
+	// recycled.
+	m.fillReq.Trace = req.Trace
 	if c.tel != nil {
 		c.tel.mshrOcc.Observe(uint64(len(c.mshrs)))
 	}
@@ -250,6 +257,7 @@ func (c *Cache) fill(m *mshr) {
 	for i := range m.waiters {
 		m.waiters[i] = nil
 	}
+	m.fillReq.Trace = nil
 	c.mshrPool = append(c.mshrPool, m)
 }
 
@@ -296,6 +304,9 @@ func (c *Cache) drainPending() {
 		block := c.blockAddr(req.Addr)
 		if m, ok := c.mshrs[block]; ok {
 			c.Stats.Coalesced++
+			if req.Trace != nil {
+				req.Trace.StampMerge(c.eng.Now())
+			}
 			m.waiters = append(m.waiters, req)
 			continue
 		}

@@ -289,6 +289,11 @@ func (m *Manager) Access(req *mem.Request) {
 			m.noteFault("fault: tag parity", int64(rowID))
 			m.tagCache.Invalidate(rowID)
 		}
+		// Tag-cache miss: everything from here to enqueue is translation
+		// wait (table-block fetch through the LLC).
+		if req.Trace != nil {
+			req.Trace.StampXlat(m.eng.Now())
+		}
 		block := m.tableBlock(rowID)
 		if waiters, inFlight := m.pendingTag[block]; inFlight {
 			m.pendingTag[block] = append(waiters, req)
@@ -464,6 +469,7 @@ func (m *Manager) enqueue(req *mem.Request, coord dram.Coord, cls dram.RowClass,
 		Write: req.Write,
 		Meta:  req.Meta || req.Addr >= m.tableBase,
 		Core:  req.Core,
+		Trace: req.Trace,
 	}
 	core := req.Core
 	done := req.Done

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/telemetry/reqtrace"
 	"repro/internal/workload"
 )
 
@@ -97,6 +98,14 @@ type Core struct {
 
 	ticker *sim.Ticker
 
+	// Request-trace sampling (nil rt = off, the common case). Every
+	// measured demand load increments rtCount; the one whose counter hits
+	// the core's deterministic offset (mod the stride) gets a span.
+	rt       *reqtrace.Recorder
+	rtStride uint64
+	rtOffset uint64
+	rtCount  uint64
+
 	Stats Stats
 }
 
@@ -177,6 +186,19 @@ func (c *Core) IPC() float64 {
 	}
 	cycles := float64(c.Stats.EndTime-c.Stats.StartTime) / float64(c.clock.Period())
 	return float64(c.Stats.Retired) / cycles
+}
+
+// AttachReqTrace enables 1-in-N request-trace sampling on this core's
+// measured demand loads. The sampling offset is derived from the
+// recorder's seed and the core id, so which loads are sampled is a pure
+// function of configuration — sampling never perturbs the simulation.
+func (c *Core) AttachReqTrace(rec *reqtrace.Recorder) {
+	if rec == nil {
+		return
+	}
+	c.rt = rec
+	c.rtStride = rec.SampleN()
+	c.rtOffset = rec.OffsetFor(c.id)
 }
 
 // wake restarts the ticker after a completion event.
@@ -273,11 +295,21 @@ func (c *Core) issueLoad(idx int) {
 	req.Addr = c.rob[idx].addr
 	req.Core = c.id
 	req.Issued = c.eng.Now()
+	if c.rt != nil && c.measuring {
+		if c.rtCount%c.rtStride == c.rtOffset {
+			req.Trace = c.rt.Begin(c.id, req.Issued)
+		}
+		c.rtCount++
+	}
 	c.l1.Access(req)
 }
 
 // loadReturned marks the load complete and wakes the core.
 func (c *Core) loadReturned(idx int) {
+	if req := &c.loadReqs[idx]; req.Trace != nil {
+		c.rt.Finish(req.Trace, c.eng.Now())
+		req.Trace = nil
+	}
 	c.rob[idx].done = true
 	c.outstandingLoads--
 	c.wake()

@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/telemetry/reqtrace"
+)
+
+// Explain runs designs a and b over the session's single-programmed
+// workload set with per-request tracing and renders the cross-design
+// attribution report: where each design's nanoseconds go, per workload
+// and aggregated, and a ranked list of the components driving the
+// difference. The session must have Observe.ReqTraceN > 0 before the
+// first run; Explain fails if any traced request violated the
+// components-sum-to-total invariant, so a clean report doubles as an
+// end-to-end check of the attribution engine.
+func (s *Session) Explain(a, b core.Design) (*Figure, error) {
+	if s.Observe == nil || s.Observe.ReqTraceN <= 0 {
+		return nil, fmt.Errorf("exp: Explain requires Observe.ReqTraceN > 0 (request tracing off)")
+	}
+	sets := s.singleSets()
+	names := s.singles()
+
+	// Run both designs over every workload in parallel (memoized, so
+	// figures already computed this session are reused).
+	var jobs []job
+	for _, set := range sets {
+		for _, d := range []core.Design{a, b} {
+			set, d := set, d
+			jobs = append(jobs, func() error {
+				_, err := s.Cached(s.Cfg, d, set)
+				return err
+			})
+		}
+	}
+	if err := s.runAll(jobs); err != nil {
+		return nil, err
+	}
+
+	// Look each run's recorder up by its result key.
+	recorder := func(d core.Design, set []string) (*reqtrace.Recorder, error) {
+		key := resultKey(s.cfgFor(set), d, set)
+		for _, o := range s.Observers() {
+			if o.Label == key && o.Req != nil {
+				if v := o.Req.Violations(); v > 0 {
+					return nil, fmt.Errorf("exp: %s: %d attribution invariant violation(s); first: %s",
+						key, v, o.Req.FirstViolation())
+				}
+				return o.Req, nil
+			}
+		}
+		return nil, fmt.Errorf("exp: no request-trace recorder for %s (run predates tracing?)", key)
+	}
+
+	waterfall := &stats.Table{
+		Title:  fmt.Sprintf("Mean per-request latency attribution (ns): %v vs %v", a, b),
+		Header: []string{"workload", "design", "requests", "total", "cache", "xlat", "queue", "refresh", "migration", "conflict", "service", "fill"},
+	}
+	quantiles := &stats.Table{
+		Title:  "End-to-end request latency quantiles (ns)",
+		Header: []string{"workload", "design", "p50", "p95", "p99"},
+	}
+	var aggA, aggB reqtrace.Aggregate
+	meanRow := func(name string, d core.Design, r *reqtrace.Recorder) {
+		row := []string{name, fmt.Sprintf("%v", d),
+			fmt.Sprintf("%d", r.Requests()), fmt.Sprintf("%.1f", r.TotalMeanNS())}
+		for c := reqtrace.Component(0); c < reqtrace.NumComponents; c++ {
+			row = append(row, fmt.Sprintf("%.1f", r.ComponentMeanNS(c)))
+		}
+		waterfall.AddRow(row...)
+	}
+	deltaRow := func(name string, ra, rb *reqtrace.Recorder) {
+		row := []string{name, "Δ", "",
+			fmt.Sprintf("%+.1f", rb.TotalMeanNS()-ra.TotalMeanNS())}
+		for c := reqtrace.Component(0); c < reqtrace.NumComponents; c++ {
+			row = append(row, fmt.Sprintf("%+.1f", rb.ComponentMeanNS(c)-ra.ComponentMeanNS(c)))
+		}
+		waterfall.AddRow(row...)
+	}
+	for i, set := range sets {
+		ra, err := recorder(a, set)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := recorder(b, set)
+		if err != nil {
+			return nil, err
+		}
+		meanRow(names[i], a, ra)
+		meanRow(names[i], b, rb)
+		deltaRow(names[i], ra, rb)
+		ra.AddTo(&aggA)
+		rb.AddTo(&aggB)
+		quantiles.AddRow(names[i], fmt.Sprintf("%v", a),
+			fmt.Sprintf("%d", ra.TotalQuantileNS(0.50)), fmt.Sprintf("%d", ra.TotalQuantileNS(0.95)), fmt.Sprintf("%d", ra.TotalQuantileNS(0.99)))
+		quantiles.AddRow(names[i], fmt.Sprintf("%v", b),
+			fmt.Sprintf("%d", rb.TotalQuantileNS(0.50)), fmt.Sprintf("%d", rb.TotalQuantileNS(0.95)), fmt.Sprintf("%d", rb.TotalQuantileNS(0.99)))
+	}
+	waterfall.Caption = fmt.Sprintf(
+		"Sampled 1-in-%d demand loads per core; components sum exactly to total (verified per request).",
+		s.Observe.ReqTraceN)
+
+	drivers, headline := rankDrivers(a, b, &aggA, &aggB)
+	fig := &Figure{
+		ID:    "Explain",
+		Title: fmt.Sprintf("Why %v ≠ %v: per-request latency attribution", a, b),
+		Tables: []*stats.Table{
+			waterfall, quantiles, drivers,
+		},
+	}
+	fig.Title += " — " + headline
+	return fig, nil
+}
+
+// rankDrivers builds the ranked component-diff table over the aggregated
+// attribution vectors and a one-line headline for the figure title.
+func rankDrivers(a, b core.Design, aggA, aggB *reqtrace.Aggregate) (*stats.Table, string) {
+	type driver struct {
+		comp         reqtrace.Component
+		meanA, meanB float64
+	}
+	ds := make([]driver, 0, reqtrace.NumComponents)
+	for c := reqtrace.Component(0); c < reqtrace.NumComponents; c++ {
+		ds = append(ds, driver{comp: c, meanA: aggA.ComponentMeanNS(c), meanB: aggB.ComponentMeanNS(c)})
+	}
+	abs := func(f float64) float64 {
+		if f < 0 {
+			return -f
+		}
+		return f
+	}
+	sort.SliceStable(ds, func(i, j int) bool {
+		di, dj := abs(ds[i].meanB-ds[i].meanA), abs(ds[j].meanB-ds[j].meanA)
+		if di != dj {
+			return di > dj
+		}
+		return ds[i].comp < ds[j].comp
+	})
+
+	totalA, totalB := aggA.TotalMeanNS(), aggB.TotalMeanNS()
+	tbl := &stats.Table{
+		Title:  fmt.Sprintf("Ranked drivers of the %v−%v difference (all workloads)", b, a),
+		Header: []string{"rank", "component", fmt.Sprintf("%v ns/req", a), fmt.Sprintf("%v ns/req", b), "Δ ns/req", "Δ% of total", fmt.Sprintf("%v share", a), fmt.Sprintf("%v share", b)},
+	}
+	share := func(mean, total float64) string {
+		if total <= 0 {
+			return "0.0%"
+		}
+		return fmt.Sprintf("%.1f%%", 100*mean/total)
+	}
+	for i, d := range ds {
+		delta := d.meanB - d.meanA
+		pct := 0.0
+		if totalA > 0 {
+			pct = 100 * delta / totalA
+		}
+		tbl.AddRow(fmt.Sprintf("%d", i+1), d.comp.String(),
+			fmt.Sprintf("%.1f", d.meanA), fmt.Sprintf("%.1f", d.meanB),
+			fmt.Sprintf("%+.1f", delta), fmt.Sprintf("%+.2f%%", pct),
+			share(d.meanA, totalA), share(d.meanB, totalB))
+	}
+	relTotal := 0.0
+	if totalA > 0 {
+		relTotal = 100 * (totalB - totalA) / totalA
+	}
+	top := ds[0]
+	headline := fmt.Sprintf("%v mean request latency %.1f ns vs %v %.1f ns (%+.1f%%); largest driver: %s (%+.1f ns/req)",
+		b, totalB, a, totalA, relTotal, top.comp, top.meanB-top.meanA)
+	tbl.Caption = headline + "."
+	return tbl, headline
+}

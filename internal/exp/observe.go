@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"fmt"
 	"io"
 	"sync"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/reqtrace"
 )
 
 // ObserveOptions selects what a session's runs record. The zero value
@@ -23,6 +25,11 @@ type ObserveOptions struct {
 	// effective boundary quantizes to that stride; recorded epoch times
 	// are the actual simulated instants and stay deterministic.
 	IntervalPS int64
+	// ReqTraceN enables per-request flight recording: each core traces
+	// one in ReqTraceN measured demand loads (1 = every load, 0 = off).
+	// Which loads are sampled is derived from the workload seed and the
+	// core id, so sampling is deterministic and never perturbs figures.
+	ReqTraceN int
 }
 
 // DefaultIntervalPS is the default timeline epoch: 100 µs of simulated
@@ -39,13 +46,16 @@ type Observer struct {
 	Reg      *telemetry.Registry
 	Trace    *telemetry.TraceRecorder
 	Timeline *telemetry.Timeline
+	Req      *reqtrace.Recorder
 
 	nextSnapPS int64
 }
 
-// newObserver builds the per-run bundle for the session's options.
-func newObserver(label string, opt *ObserveOptions) *Observer {
-	if opt == nil || (!opt.Metrics && !opt.Trace) {
+// newObserver builds the per-run bundle for the session's options. seed
+// is the run's workload seed, from which reqtrace sampling offsets are
+// derived.
+func newObserver(label string, seed uint64, opt *ObserveOptions) *Observer {
+	if opt == nil || (!opt.Metrics && !opt.Trace && opt.ReqTraceN <= 0) {
 		return nil
 	}
 	o := &Observer{Label: label}
@@ -60,6 +70,9 @@ func newObserver(label string, opt *ObserveOptions) *Observer {
 	}
 	if opt.Trace {
 		o.Trace = telemetry.NewTraceRecorder(label)
+	}
+	if opt.ReqTraceN > 0 {
+		o.Req = reqtrace.NewRecorder(label, opt.ReqTraceN, seed)
 	}
 	return o
 }
@@ -107,6 +120,21 @@ func (s *System) AttachObserver(obs *Observer) {
 	}
 	if reg.Enabled() {
 		reg.Sample("sim.events_executed", func() int64 { return int64(s.Eng.Executed()) })
+	}
+	if obs.Req != nil {
+		if obs.Trace != nil {
+			// Core request tracks are numbered after the controller's bank
+			// and rank-refresh tracks (see mc's bankTID/rankTID).
+			g := s.Dev.Geometry()
+			base := g.Channels*g.Ranks*g.Banks + g.Channels*g.Ranks
+			obs.Req.AttachTrace(obs.Trace, base)
+			for i := range s.Cores {
+				obs.Trace.DefineTrack(base+i, fmt.Sprintf("core%d req", i))
+			}
+		}
+		for _, c := range s.Cores {
+			c.AttachReqTrace(obs.Req)
+		}
 	}
 }
 
@@ -166,6 +194,29 @@ func (s *Session) WriteTrace(w io.Writer) error {
 		}
 	}
 	return telemetry.EncodeTrace(w, recs)
+}
+
+// reqRecorders extracts the non-nil request-trace recorders.
+func (s *Session) reqRecorders() []*reqtrace.Recorder {
+	var recs []*reqtrace.Recorder
+	for _, o := range s.Observers() {
+		if o.Req != nil {
+			recs = append(recs, o.Req)
+		}
+	}
+	return recs
+}
+
+// WriteReqTraceCSV writes every observed run's latency-attribution
+// waterfall as long-form CSV (run,component rows with sums, means,
+// shares and quantiles).
+func (s *Session) WriteReqTraceCSV(w io.Writer) error {
+	return reqtrace.EncodeCSV(w, s.reqRecorders())
+}
+
+// WriteReqTraceJSON writes the attribution waterfalls as JSON.
+func (s *Session) WriteReqTraceJSON(w io.Writer) error {
+	return reqtrace.EncodeJSON(w, s.reqRecorders())
 }
 
 // PublishTo pushes every observed run's final snapshot into p (the

@@ -15,7 +15,7 @@ func observedFig7a(t *testing.T, par int) (fig, timelineCSV, trace string) {
 	s := NewSession(tinyConfig())
 	s.Parallelism = par
 	s.Benchmarks = []string{"mcf", "libquantum"}
-	s.Observe = &ObserveOptions{Metrics: true, Trace: true}
+	s.Observe = &ObserveOptions{Metrics: true, Trace: true, ReqTraceN: 3}
 	f, err := s.Fig7a()
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +63,8 @@ func TestTelemetrySinksDeterministic(t *testing.T) {
 // TestTraceExportIsValidTraceEventJSON validates the exporter against
 // the Chrome trace-event schema: top-level traceEvents array, every
 // event carrying name/ph/pid/tid, complete events a non-negative
-// ts+dur, instant events a scope, and metadata naming each process.
+// ts+dur, instant events a scope, flow events an id, and metadata
+// naming each process.
 func TestTraceExportIsValidTraceEventJSON(t *testing.T) {
 	_, _, trace := observedFig7a(t, 1)
 	var doc struct {
@@ -76,6 +77,7 @@ func TestTraceExportIsValidTraceEventJSON(t *testing.T) {
 			Pid   *int     `json:"pid"`
 			Tid   *int     `json:"tid"`
 			Scope string   `json:"s"`
+			ID    string   `json:"id"`
 			Args  map[string]any
 		} `json:"traceEvents"`
 	}
@@ -88,7 +90,7 @@ func TestTraceExportIsValidTraceEventJSON(t *testing.T) {
 	if len(doc.TraceEvents) == 0 {
 		t.Fatal("no trace events emitted")
 	}
-	var processes, complete, instant int
+	var processes, complete, instant, flows int
 	for i, e := range doc.TraceEvents {
 		if e.Name == nil || e.Ph == nil || e.Pid == nil || e.Tid == nil {
 			t.Fatalf("event %d missing required field: %+v", i, e)
@@ -108,6 +110,11 @@ func TestTraceExportIsValidTraceEventJSON(t *testing.T) {
 			if e.Ts == nil || e.Scope == "" {
 				t.Fatalf("instant event %d lacks ts/scope: %+v", i, e)
 			}
+		case "s", "f":
+			flows++
+			if e.Ts == nil || e.ID == "" {
+				t.Fatalf("flow event %d lacks ts/id: %+v", i, e)
+			}
 		default:
 			t.Fatalf("event %d has unexpected phase %q", i, *e.Ph)
 		}
@@ -117,6 +124,9 @@ func TestTraceExportIsValidTraceEventJSON(t *testing.T) {
 	}
 	if complete == 0 {
 		t.Error("no complete (DRAM command) events emitted")
+	}
+	if flows == 0 || flows%2 != 0 {
+		t.Errorf("request flow events = %d, want a positive even count (start/end pairs)", flows)
 	}
 	_ = instant // fault events only appear on faulty-device runs
 }

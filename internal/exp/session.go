@@ -109,7 +109,7 @@ func (s *Session) Baseline(benchmarks []string) (*Result, error) {
 			e.err = err
 			return
 		}
-		obs := newObserver(resultKey(cfg, core.Standard, benchmarks), s.Observe)
+		obs := newObserver(resultKey(cfg, core.Standard, benchmarks), cfg.Seed, s.Observe)
 		sys.AttachObserver(obs)
 		e.res, e.err = sys.Run()
 		if e.err == nil {
@@ -168,7 +168,7 @@ func (s *Session) Run(cfg config.Config, design core.Design, benchmarks []string
 	if err != nil {
 		return nil, err
 	}
-	obs := newObserver(resultKey(cfg, design, benchmarks), s.Observe)
+	obs := newObserver(resultKey(cfg, design, benchmarks), cfg.Seed, s.Observe)
 	sys.AttachObserver(obs)
 	res, err := sys.Run()
 	if err == nil {

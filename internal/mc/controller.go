@@ -114,6 +114,12 @@ func (c *Controller) Device() *dram.Device { return c.dev }
 func (c *Controller) Enqueue(req *Request) {
 	cc := c.chans[req.Coord.Channel]
 	req.enqueued = c.eng.Now()
+	if req.Trace != nil {
+		req.Trace.StampEnqueue(req.enqueued)
+		if !req.Write {
+			cc.traced = append(cc.traced, req)
+		}
+	}
 	if req.Write {
 		cc.writeQ = append(cc.writeQ, req)
 		if req.Done != nil {
@@ -210,6 +216,11 @@ type chanCtl struct {
 	readQ  []*Request
 	writeQ []*Request
 	migQ   []*migOp
+
+	// traced holds queued reads carrying a reqtrace span, so refresh and
+	// migration occupancy can be credited to the requests they block
+	// without scanning the whole read queue (empty unless sampling is on).
+	traced []*Request
 
 	reserved       []bool // rank*banks+bank -> migration reservation
 	refreshPending []bool // rank -> refresh overdue, drain it
@@ -350,6 +361,10 @@ func (cc *chanCtl) issueRefresh(t sim.Time) bool {
 			if tel := cc.ctl.tel; tel != nil {
 				tel.noteREF(t, cc.idx, r)
 			}
+			if len(cc.traced) > 0 {
+				p := cc.ctl.dev.SlowParams()
+				cc.creditBlocked(r, -1, p.Duration(p.TRFC), true)
+			}
 			return true
 		}
 		for b := 0; b < cc.ctl.dev.Geometry().Banks; b++ {
@@ -384,6 +399,9 @@ func (cc *chanCtl) issueMigration(t sim.Time) bool {
 		}
 		if cc.ch.CanMigrate(t, op.rank, op.bank, op.row) {
 			end := cc.ch.Migrate(t, op.rank, op.bank)
+			if len(cc.traced) > 0 {
+				cc.creditBlocked(op.rank, op.bank, end-t, false)
+			}
 			cc.ctl.Stats.Migrations++
 			cc.ctl.Stats.MigWaitSum += t - op.enqueued
 			if tel := cc.ctl.tel; tel != nil {
@@ -413,6 +431,35 @@ func (cc *chanCtl) issueMigration(t sim.Time) bool {
 		}
 	}
 	return false
+}
+
+// creditBlocked attributes a refresh (whole rank, bank < 0) or migration
+// (one bank) occupancy window of length d to every traced read still
+// waiting on the blocked bank(s). Convention: all queued traced reads
+// are credited, including those beyond the scheduling window — they are
+// blocked by the occupancy all the same.
+func (cc *chanCtl) creditBlocked(rank, bank int, d sim.Time, refresh bool) {
+	for _, req := range cc.traced {
+		if req.Coord.Rank != rank || (bank >= 0 && req.Coord.Bank != bank) || !req.Trace.Waiting() {
+			continue
+		}
+		if refresh {
+			req.Trace.CreditRefresh(d)
+		} else {
+			req.Trace.CreditMigration(d)
+		}
+	}
+}
+
+// dropTraced removes req from the traced list once its data burst is
+// scheduled (no further bank-wait credit applies).
+func (cc *chanCtl) dropTraced(req *Request) {
+	for i, r := range cc.traced {
+		if r == req {
+			cc.traced = append(cc.traced[:i], cc.traced[i+1:]...)
+			return
+		}
+	}
 }
 
 // pendingRowHit reports whether any windowed request targets the open
@@ -526,6 +573,10 @@ func (cc *chanCtl) issueColumnFrom(t sim.Time, q []*Request, isWrite bool) bool 
 			if tel := cc.ctl.tel; tel != nil {
 				tel.noteColumn(t, end, cc.idx, req, false)
 			}
+			if req.Trace != nil {
+				req.Trace.StampRead(t, end)
+				cc.dropTraced(req)
+			}
 			cc.completeRead(req, end)
 		}
 		cc.account(req, isWrite)
@@ -572,6 +623,9 @@ func (cc *chanCtl) issueRowCommandFrom(t sim.Time, q []*Request) bool {
 				if tel := cc.ctl.tel; tel != nil {
 					tel.notePRE(t, cc.idx, req.Coord.Rank, req.Coord.Bank, cls, true)
 				}
+				if req.Trace != nil {
+					req.Trace.StampPre(t)
+				}
 				return true
 			}
 			continue
@@ -581,6 +635,9 @@ func (cc *chanCtl) issueRowCommandFrom(t sim.Time, q []*Request) bool {
 			req.firstOpen = true
 			if tel := cc.ctl.tel; tel != nil {
 				tel.noteACT(t, cc.idx, req)
+			}
+			if req.Trace != nil {
+				req.Trace.StampAct(t)
 			}
 			return true
 		}

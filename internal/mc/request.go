@@ -8,6 +8,7 @@ package mc
 import (
 	"repro/internal/dram"
 	"repro/internal/sim"
+	"repro/internal/telemetry/reqtrace"
 )
 
 // ServiceKind classifies where a request was serviced, feeding the
@@ -46,6 +47,9 @@ type Request struct {
 	// Done fires when the data burst completes (reads) or the write is
 	// issued to the device (writes). May be nil.
 	Done func(served ServiceKind)
+	// Trace carries the sampled flight-recorder span across the
+	// translation boundary; nil means untraced.
+	Trace *reqtrace.Span
 
 	enqueued  sim.Time
 	firstOpen bool        // an ACT was issued for this request

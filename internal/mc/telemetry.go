@@ -123,6 +123,11 @@ func (tl *mcTelemetry) noteColumn(t, end sim.Time, channel int, req *Request, is
 		tl.trace.Duration(name, int64(t), int64(end-t),
 			tl.bankTID(channel, req.Coord.Rank, req.Coord.Bank), int64(req.Coord.Row))
 	}
+	if req.Trace != nil && !isWrite {
+		// Lets reqtrace link a Perfetto flow arrow from the core's REQ
+		// slice into this bank's RD slice.
+		req.Trace.SetBankTID(tl.bankTID(channel, req.Coord.Rank, req.Coord.Bank))
+	}
 }
 
 // noteREF records a refresh occupying [t, t+tRFC) on the rank track.

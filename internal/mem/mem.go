@@ -4,7 +4,10 @@
 // manager + memory controller.
 package mem
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/telemetry/reqtrace"
+)
 
 // Request is one cache-block-sized memory access travelling down the
 // hierarchy. Requests are created by a core (demand access), by a cache
@@ -29,6 +32,11 @@ type Request struct {
 	// Done is invoked exactly once when the request completes (data
 	// returned for reads; accepted/posted for writes). May be nil.
 	Done func()
+	// Trace is the request's flight-recorder span when this request was
+	// sampled by reqtrace; nil (the common case) means untraced. Owned by
+	// the issuing core: components stamp stage transitions through it but
+	// never finish or recycle it.
+	Trace *reqtrace.Span
 }
 
 // Complete fires the Done callback if present.

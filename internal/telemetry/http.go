@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 type Publisher struct {
 	mu   sync.Mutex
 	runs map[string][]Metric
+	srv  *http.Server
 }
 
 // NewPublisher returns an empty publisher.
@@ -87,16 +89,36 @@ func (p *Publisher) Handler() http.Handler {
 	return mux
 }
 
-// Serve listens on addr and serves the debug endpoint until the process
-// exits. It returns the bound address (useful with ":0") or an error if
-// the listener cannot be created; serving errors after that are
-// dropped, matching net/http debug-endpoint convention.
+// Serve listens on addr and serves the debug endpoint until Shutdown
+// (or process exit). It returns the bound address (useful with ":0") or
+// an error if the listener cannot be created; serving errors after that
+// are dropped, matching net/http debug-endpoint convention.
 func (p *Publisher) Serve(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("telemetry: http listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: p.Handler()}
+	p.mu.Lock()
+	p.srv = srv
+	p.mu.Unlock()
 	go srv.Serve(ln)
 	return ln.Addr().String(), nil
+}
+
+// Shutdown gracefully closes the listener started by Serve, letting
+// in-flight requests finish within ctx's deadline. Safe on a nil
+// publisher or one that never served; idempotent.
+func (p *Publisher) Shutdown(ctx context.Context) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	srv := p.srv
+	p.srv = nil
+	p.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
 }

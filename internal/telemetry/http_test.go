@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPublisherShutdown exercises the graceful-shutdown path dasbench
+// uses on SIGINT/SIGTERM: serve, answer a request, shut down, and
+// verify the listener is really gone and repeat calls are safe.
+func TestPublisherShutdown(t *testing.T) {
+	p := NewPublisher()
+	p.Publish("run", []Metric{{Name: "x", Value: 1}})
+	addr, err := p.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("live server unreachable: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics -> %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still answering after Shutdown")
+	}
+
+	// Idempotent: a second shutdown (dasbench defers one unconditionally
+	// after the signal handler may already have run) is a no-op.
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	// Never-served and nil publishers shut down cleanly too.
+	if err := NewPublisher().Shutdown(ctx); err != nil {
+		t.Fatalf("unserved shutdown: %v", err)
+	}
+	var np *Publisher
+	if err := np.Shutdown(ctx); err != nil {
+		t.Fatalf("nil shutdown: %v", err)
+	}
+}
+
+// TestPublisherConcurrentPublish hammers Publish against snapshot
+// reads; run under -race (scripts/check.sh does) to validate the
+// locking around the run map and the srv handoff in Shutdown.
+func TestPublisherConcurrentPublish(t *testing.T) {
+	p := NewPublisher()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			labels := []string{"run-a", "run-b"}
+			for n := 0; n < 200; n++ {
+				p.Publish(labels[(id+n)%2], []Metric{{Name: "m", Value: float64(n)}})
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < 200; n++ {
+			if _, err := p.snapshotJSON(); err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := p.snapshotJSON(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import "testing"
+
+// TestQuantileEmptyHistogram: no observations must yield 0 at every q,
+// including the degenerate and out-of-range ones.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{-1, 0, 0.5, 0.95, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram Quantile = %d, want 0", got)
+	}
+}
+
+// TestQuantileSingleBucket: identical observations land in one log2
+// bucket, so every quantile reports that bucket's upper bound.
+func TestQuantileSingleBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(5) // bits.Len64(5) = 3 -> bucket 3, bound 7
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("single-bucket Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+	// A single zero observation sits in bucket 0 with bound 0.
+	var z Histogram
+	z.Observe(0)
+	if got := z.Quantile(1); got != 0 {
+		t.Fatalf("zero-value Quantile(1) = %d, want 0", got)
+	}
+}
+
+// TestQuantileP50P95P99 exercises the cumulative walk the waterfall
+// report relies on: 90 small, 9 medium, 1 large observation.
+func TestQuantileP50P95P99(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(3) // bucket 2, bound 3
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(100) // bucket 7, bound 127
+	}
+	h.Observe(5000) // bucket 13, bound 8191
+
+	if got := h.Quantile(0.50); got != 3 {
+		t.Fatalf("p50 = %d, want 3", got)
+	}
+	// need = ceil(0.95*100) = 95 > 90, so p95 falls in the medium bucket.
+	if got := h.Quantile(0.95); got != 127 {
+		t.Fatalf("p95 = %d, want 127", got)
+	}
+	// need = 99, cumulative reaches 99 in the medium bucket too.
+	if got := h.Quantile(0.99); got != 127 {
+		t.Fatalf("p99 = %d, want 127", got)
+	}
+	if got := h.Quantile(1); got != 8191 {
+		t.Fatalf("p100 = %d, want 8191", got)
+	}
+	// Out-of-range q clamps rather than misindexing.
+	if got := h.Quantile(2); got != 8191 {
+		t.Fatalf("Quantile(2) = %d, want 8191", got)
+	}
+	if got := h.Quantile(-0.5); got != 3 {
+		t.Fatalf("Quantile(-0.5) = %d, want 3 (clamped to the first bucket reached)", got)
+	}
+}
+
+// TestQuantileMergePreserved: quantiles over a merged histogram match
+// observing the union directly (the explain aggregates rely on Merge).
+func TestQuantileMergePreserved(t *testing.T) {
+	var a, b, union Histogram
+	for i := 0; i < 50; i++ {
+		a.Observe(10)
+		union.Observe(10)
+	}
+	for i := 0; i < 50; i++ {
+		b.Observe(1000)
+		union.Observe(1000)
+	}
+	a.Merge(&b)
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.95, 1} {
+		if got, want := a.Quantile(q), union.Quantile(q); got != want {
+			t.Fatalf("merged Quantile(%v) = %d, union = %d", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package reqtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// Aggregate accumulates attribution across recorders (one explain run
+// merges every workload of a design into one vector). The zero value is
+// ready to use.
+type Aggregate struct {
+	Requests   uint64
+	Violations uint64
+	totalSumPS int64
+	compSumPS  [NumComponents]int64
+	totalHist  telemetry.Histogram
+}
+
+// AddTo merges this recorder's aggregation into a.
+func (r *Recorder) AddTo(a *Aggregate) {
+	if r == nil || a == nil {
+		return
+	}
+	a.Requests += r.count
+	a.Violations += r.violations
+	a.totalSumPS += r.totalSumPS
+	for i := range r.compSumPS {
+		a.compSumPS[i] += r.compSumPS[i]
+	}
+	a.totalHist.Merge(&r.totalHist)
+}
+
+// TotalMeanNS returns the mean end-to-end latency in nanoseconds.
+func (a *Aggregate) TotalMeanNS() float64 {
+	if a.Requests == 0 {
+		return 0
+	}
+	return float64(a.totalSumPS) / float64(a.Requests) / psPerNS
+}
+
+// ComponentMeanNS returns component c's mean per request (ns).
+func (a *Aggregate) ComponentMeanNS(c Component) float64 {
+	if a.Requests == 0 {
+		return 0
+	}
+	return float64(a.compSumPS[c]) / float64(a.Requests) / psPerNS
+}
+
+// TotalQuantileNS returns the merged q-quantile of end-to-end latency
+// in nanoseconds.
+func (a *Aggregate) TotalQuantileNS(q float64) uint64 {
+	return a.totalHist.Quantile(q)
+}
+
+// EncodeCSV writes every recorder's waterfall as long-form CSV:
+// one "total" row per run followed by one row per component, runs
+// sorted by label so merged output is independent of completion order.
+func EncodeCSV(w io.Writer, recs []*Recorder) error {
+	bw := bufio.NewWriterSize(w, 1<<14)
+	if _, err := bw.WriteString(
+		"run,requests,violations,component,sum_ns,mean_ns,share_pct,p50_ns,p95_ns,p99_ns\n"); err != nil {
+		return err
+	}
+	for _, r := range sortedLive(recs) {
+		totalSum := float64(r.totalSumPS) / psPerNS
+		fmt.Fprintf(bw, "%s,%d,%d,total,%.3f,%.3f,100.00,%d,%d,%d\n",
+			csvField(r.label), r.count, r.violations,
+			totalSum, r.TotalMeanNS(),
+			r.totalHist.Quantile(0.50), r.totalHist.Quantile(0.95), r.totalHist.Quantile(0.99))
+		for c := Component(0); c < NumComponents; c++ {
+			share := 0.0
+			if totalSum > 0 {
+				share = 100 * r.ComponentSumNS(c) / totalSum
+			}
+			fmt.Fprintf(bw, "%s,%d,%d,%v,%.3f,%.3f,%.2f,%d,%d,%d\n",
+				csvField(r.label), r.count, r.violations, c,
+				r.ComponentSumNS(c), r.ComponentMeanNS(c), share,
+				r.compHist[c].Quantile(0.50), r.compHist[c].Quantile(0.95), r.compHist[c].Quantile(0.99))
+		}
+	}
+	return bw.Flush()
+}
+
+// componentJSON is one component's aggregated attribution.
+type componentJSON struct {
+	Name     string  `json:"name"`
+	SumNS    float64 `json:"sum_ns"`
+	MeanNS   float64 `json:"mean_ns"`
+	SharePct float64 `json:"share_pct"`
+	P50NS    uint64  `json:"p50_ns"`
+	P95NS    uint64  `json:"p95_ns"`
+	P99NS    uint64  `json:"p99_ns"`
+}
+
+// runJSON is one run's waterfall document.
+type runJSON struct {
+	Run        string          `json:"run"`
+	Requests   uint64          `json:"requests"`
+	Violations uint64          `json:"violations"`
+	Total      componentJSON   `json:"total"`
+	Components []componentJSON `json:"components"`
+}
+
+// EncodeJSON writes every recorder's waterfall as one JSON array, runs
+// sorted by label.
+func EncodeJSON(w io.Writer, recs []*Recorder) error {
+	out := make([]runJSON, 0, len(recs))
+	for _, r := range sortedLive(recs) {
+		totalSum := float64(r.totalSumPS) / psPerNS
+		doc := runJSON{
+			Run: r.label, Requests: r.count, Violations: r.violations,
+			Total: componentJSON{
+				Name: "total", SumNS: totalSum, MeanNS: r.TotalMeanNS(), SharePct: 100,
+				P50NS: r.totalHist.Quantile(0.50), P95NS: r.totalHist.Quantile(0.95), P99NS: r.totalHist.Quantile(0.99),
+			},
+		}
+		for c := Component(0); c < NumComponents; c++ {
+			share := 0.0
+			if totalSum > 0 {
+				share = 100 * r.ComponentSumNS(c) / totalSum
+			}
+			doc.Components = append(doc.Components, componentJSON{
+				Name: c.String(), SumNS: r.ComponentSumNS(c), MeanNS: r.ComponentMeanNS(c), SharePct: share,
+				P50NS: r.compHist[c].Quantile(0.50), P95NS: r.compHist[c].Quantile(0.95), P99NS: r.compHist[c].Quantile(0.99),
+			})
+		}
+		out = append(out, doc)
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// sortedLive returns the non-nil recorders sorted by label.
+func sortedLive(recs []*Recorder) []*Recorder {
+	live := make([]*Recorder, 0, len(recs))
+	for _, r := range recs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].label < live[j].label })
+	return live
+}
+
+// csvField quotes a CSV field when it needs it (labels may contain
+// commas from sweep keys).
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,287 @@
+package reqtrace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// finishAndCheck finishes sp and asserts the sum invariant held.
+func finishAndCheck(t *testing.T, r *Recorder, sp *Span, done sim.Time) {
+	t.Helper()
+	before := r.Violations()
+	r.Finish(sp, done)
+	if r.Violations() != before {
+		t.Fatalf("invariant violation: %s", r.FirstViolation())
+	}
+}
+
+func TestBreakdownCacheHit(t *testing.T) {
+	r := NewRecorder("run", 1, 42)
+	sp := r.Begin(0, sim.FromNS(100))
+	// No stamps at all: the request hit a cache level.
+	finishAndCheck(t, r, sp, sim.FromNS(104))
+	if got := r.ComponentSumNS(CompCache); got != 4 {
+		t.Fatalf("cache hit: cache component = %v ns, want 4", got)
+	}
+	if got := r.TotalMeanNS(); got != 4 {
+		t.Fatalf("total mean = %v ns, want 4", got)
+	}
+}
+
+func TestBreakdownCoalesced(t *testing.T) {
+	r := NewRecorder("run", 1, 42)
+	sp := r.Begin(0, sim.FromNS(0))
+	sp.StampMerge(sim.FromNS(10))
+	sp.StampMerge(sim.FromNS(25)) // second merge must not win
+	finishAndCheck(t, r, sp, sim.FromNS(80))
+	if c, f := r.ComponentSumNS(CompCache), r.ComponentSumNS(CompFill); c != 10 || f != 70 {
+		t.Fatalf("coalesced: cache=%v fill=%v, want 10/70", c, f)
+	}
+}
+
+func TestBreakdownFullServicePath(t *testing.T) {
+	r := NewRecorder("run", 1, 42)
+	sp := r.Begin(1, sim.FromNS(0))
+	sp.StampXlat(sim.FromNS(20))
+	sp.StampEnqueue(sim.FromNS(50))
+	sp.CreditRefresh(sim.FromNS(30))
+	sp.CreditMigration(sim.FromNS(10))
+	sp.StampPre(sim.FromNS(150))
+	sp.StampAct(sim.FromNS(165))
+	sp.StampRead(sim.FromNS(180), sim.FromNS(195))
+	finishAndCheck(t, r, sp, sim.FromNS(200))
+	want := map[Component]float64{
+		CompCache:     20, // issue -> xlat
+		CompXlat:      30, // xlat -> enqueue
+		CompQueue:     60, // enqueue -> PRE (100) minus credits (40)
+		CompRefresh:   30, //
+		CompMigration: 10, //
+		CompConflict:  15, // PRE -> ACT
+		CompService:   30, // ACT -> burst end
+		CompFill:      5,  // burst end -> done
+	}
+	var sum float64
+	for c, w := range want {
+		if got := r.ComponentSumNS(c); got != w {
+			t.Fatalf("%v = %v ns, want %v", c, got, w)
+		}
+		sum += w
+	}
+	if sum != 200 {
+		t.Fatalf("test vector inconsistent: components sum to %v, want 200", sum)
+	}
+}
+
+func TestBreakdownRowHit(t *testing.T) {
+	r := NewRecorder("run", 1, 42)
+	sp := r.Begin(0, sim.FromNS(0))
+	sp.StampEnqueue(sim.FromNS(10))
+	// Row already open: straight to the column read, no PRE/ACT.
+	sp.StampRead(sim.FromNS(40), sim.FromNS(55))
+	finishAndCheck(t, r, sp, sim.FromNS(60))
+	if q, s := r.ComponentSumNS(CompQueue), r.ComponentSumNS(CompService); q != 30 || s != 15 {
+		t.Fatalf("row hit: queue=%v service=%v, want 30/15", q, s)
+	}
+	if c := r.ComponentSumNS(CompConflict); c != 0 {
+		t.Fatalf("row hit: conflict=%v, want 0", c)
+	}
+}
+
+func TestBreakdownLastActWins(t *testing.T) {
+	r := NewRecorder("run", 1, 42)
+	sp := r.Begin(0, sim.FromNS(0))
+	sp.StampEnqueue(sim.FromNS(0))
+	sp.StampPre(sim.FromNS(10))
+	sp.StampAct(sim.FromNS(20))
+	// A sibling stole the bank; re-open for this request later.
+	sp.StampAct(sim.FromNS(80))
+	sp.StampRead(sim.FromNS(90), sim.FromNS(100))
+	finishAndCheck(t, r, sp, sim.FromNS(100))
+	// Conflict extends from the first PRE to the final ACT.
+	if c := r.ComponentSumNS(CompConflict); c != 70 {
+		t.Fatalf("conflict = %v ns, want 70", c)
+	}
+	if s := r.ComponentSumNS(CompService); s != 20 {
+		t.Fatalf("service = %v ns, want 20", s)
+	}
+}
+
+func TestCreditClampKeepsQueueNonNegative(t *testing.T) {
+	r := NewRecorder("run", 1, 42)
+	sp := r.Begin(0, sim.FromNS(0))
+	sp.StampEnqueue(sim.FromNS(10))
+	// Over-credit far beyond the actual wait window.
+	sp.CreditRefresh(sim.FromNS(500))
+	sp.CreditMigration(sim.FromNS(500))
+	sp.StampRead(sim.FromNS(50), sim.FromNS(60))
+	finishAndCheck(t, r, sp, sim.FromNS(60))
+	if q := r.ComponentSumNS(CompQueue); q != 0 {
+		t.Fatalf("queue = %v ns, want 0 after clamp", q)
+	}
+	if ref := r.ComponentSumNS(CompRefresh); ref != 40 {
+		t.Fatalf("refresh clamped to %v ns, want 40 (the whole wait)", ref)
+	}
+	if mig := r.ComponentSumNS(CompMigration); mig != 0 {
+		t.Fatalf("migration = %v ns, want 0 (refresh consumed the wait)", mig)
+	}
+}
+
+func TestViolationCountedNotPanicked(t *testing.T) {
+	r := NewRecorder("run", 1, 42)
+	sp := r.Begin(0, sim.FromNS(100))
+	// done before issue: impossible, must be flagged.
+	r.Finish(sp, sim.FromNS(50))
+	if r.Violations() != 1 {
+		t.Fatalf("violations = %d, want 1", r.Violations())
+	}
+	if r.FirstViolation() == "" || !strings.Contains(r.FirstViolation(), "core 0") {
+		t.Fatalf("first violation = %q", r.FirstViolation())
+	}
+}
+
+func TestSamplingDeterministicAndSpread(t *testing.T) {
+	a := NewRecorder("a", 64, 12345)
+	b := NewRecorder("b", 64, 12345)
+	offsets := make(map[uint64]int)
+	for core := 0; core < 16; core++ {
+		oa, ob := a.OffsetFor(core), b.OffsetFor(core)
+		if oa != ob {
+			t.Fatalf("core %d: offsets differ for equal seeds (%d vs %d)", core, oa, ob)
+		}
+		if oa >= 64 {
+			t.Fatalf("core %d: offset %d out of range", core, oa)
+		}
+		offsets[oa]++
+	}
+	if len(offsets) < 2 {
+		t.Fatalf("all 16 cores sample in lockstep: offsets %v", offsets)
+	}
+	if c := NewRecorder("c", 64, 999); c.OffsetFor(0) == a.OffsetFor(0) && c.OffsetFor(1) == a.OffsetFor(1) && c.OffsetFor(2) == a.OffsetFor(2) {
+		t.Fatal("different seeds produced identical offset streams")
+	}
+	if n := NewRecorder("n", 0, 1).SampleN(); n != 1 {
+		t.Fatalf("sampleN clamp: %d, want 1", n)
+	}
+}
+
+func TestSpanPoolRecycles(t *testing.T) {
+	r := NewRecorder("run", 1, 42)
+	sp := r.Begin(0, sim.FromNS(0))
+	r.Finish(sp, sim.FromNS(10))
+	sp2 := r.Begin(1, sim.FromNS(20))
+	if sp2 != sp {
+		t.Fatal("pooled span not recycled")
+	}
+	// The recycled span must be fully re-armed.
+	if sp2.Waiting() {
+		t.Fatal("recycled span still looks enqueued")
+	}
+	finishAndCheck(t, r, sp2, sim.FromNS(30))
+	if r.Requests() != 2 {
+		t.Fatalf("requests = %d, want 2", r.Requests())
+	}
+}
+
+func TestNilSpanStampsAreNoOps(t *testing.T) {
+	var sp *Span
+	sp.StampMerge(1)
+	sp.StampXlat(1)
+	sp.StampEnqueue(1)
+	sp.StampPre(1)
+	sp.StampAct(1)
+	sp.StampRead(1, 2)
+	sp.CreditRefresh(1)
+	sp.CreditMigration(1)
+	sp.SetBankTID(3)
+	if sp.Waiting() {
+		t.Fatal("nil span reports waiting")
+	}
+}
+
+func TestFinishEmitsTraceFlow(t *testing.T) {
+	r := NewRecorder("run", 1, 42)
+	tr := telemetry.NewTraceRecorder("run")
+	r.AttachTrace(tr, 100)
+	sp := r.Begin(2, sim.FromNS(0))
+	sp.StampEnqueue(sim.FromNS(5))
+	sp.StampRead(sim.FromNS(20), sim.FromNS(30))
+	sp.SetBankTID(7)
+	finishAndCheck(t, r, sp, sim.FromNS(35))
+	// REQ duration + flow start + flow end.
+	if tr.Len() != 3 {
+		t.Fatalf("trace events = %d, want 3", tr.Len())
+	}
+	var out strings.Builder
+	if err := telemetry.EncodeTrace(&out, []*telemetry.TraceRecorder{tr}); err != nil {
+		t.Fatal(err)
+	}
+	enc := out.String()
+	for _, want := range []string{`"ph":"s"`, `"ph":"f"`, `"cat":"flow"`, `"bp":"e"`, `"name":"REQ"`} {
+		if !strings.Contains(enc, want) {
+			t.Fatalf("encoded trace missing %s:\n%s", want, enc)
+		}
+	}
+}
+
+func TestEncodersDeterministicAndSorted(t *testing.T) {
+	build := func() []*Recorder {
+		// Construct in reverse label order; encoders must sort.
+		rb := NewRecorder("b-run", 1, 1)
+		sp := rb.Begin(0, 0)
+		sp.StampEnqueue(sim.FromNS(2))
+		sp.StampRead(sim.FromNS(10), sim.FromNS(12))
+		rb.Finish(sp, sim.FromNS(14))
+		ra := NewRecorder("a-run", 1, 1)
+		sp = ra.Begin(0, 0)
+		ra.Finish(sp, sim.FromNS(3))
+		return []*Recorder{rb, nil, ra}
+	}
+	var csv1, csv2, json1 strings.Builder
+	if err := EncodeCSV(&csv1, build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeCSV(&csv2, build()); err != nil {
+		t.Fatal(err)
+	}
+	if csv1.String() != csv2.String() {
+		t.Fatal("CSV encoding not deterministic")
+	}
+	if err := EncodeJSON(&json1, build()); err != nil {
+		t.Fatal(err)
+	}
+	aIdx := strings.Index(csv1.String(), "a-run")
+	bIdx := strings.Index(csv1.String(), "b-run")
+	if aIdx < 0 || bIdx < 0 || aIdx > bIdx {
+		t.Fatalf("CSV runs not sorted by label:\n%s", csv1.String())
+	}
+	if !strings.Contains(csv1.String(), "run,requests,violations,component,sum_ns,mean_ns,share_pct,p50_ns,p95_ns,p99_ns") {
+		t.Fatalf("CSV header missing:\n%s", csv1.String())
+	}
+	if !strings.Contains(json1.String(), `"name": "total"`) {
+		t.Fatalf("JSON missing total component:\n%s", json1.String())
+	}
+}
+
+func TestAggregateMerges(t *testing.T) {
+	r1 := NewRecorder("x", 1, 1)
+	sp := r1.Begin(0, 0)
+	r1.Finish(sp, sim.FromNS(10))
+	r2 := NewRecorder("y", 1, 1)
+	sp = r2.Begin(0, 0)
+	r2.Finish(sp, sim.FromNS(30))
+	var agg Aggregate
+	r1.AddTo(&agg)
+	r2.AddTo(&agg)
+	if agg.Requests != 2 {
+		t.Fatalf("requests = %d, want 2", agg.Requests)
+	}
+	if got := agg.TotalMeanNS(); got != 20 {
+		t.Fatalf("merged mean = %v ns, want 20", got)
+	}
+	if got := agg.ComponentMeanNS(CompCache); got != 20 {
+		t.Fatalf("merged cache mean = %v ns, want 20 (both were hits)", got)
+	}
+}

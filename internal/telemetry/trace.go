@@ -43,8 +43,10 @@ const DefaultMaxEvents = 2_000_000
 type tracePhase byte
 
 const (
-	phaseComplete tracePhase = 'X' // duration event (ts + dur)
-	phaseInstant  tracePhase = 'i' // instant event
+	phaseComplete  tracePhase = 'X' // duration event (ts + dur)
+	phaseInstant   tracePhase = 'i' // instant event
+	phaseFlowStart tracePhase = 's' // flow arrow origin
+	phaseFlowEnd   tracePhase = 'f' // flow arrow destination
 )
 
 // traceEvent is one buffered event. Names must be static strings (the
@@ -56,7 +58,8 @@ type traceEvent struct {
 	tsPS  int64
 	durPS int64
 	tid   int
-	// row is an optional "row" argument; negative means absent.
+	// row is an optional "row" argument; negative means absent. Flow
+	// events reuse it as the flow id (pairing a start with its end).
 	row int64
 }
 
@@ -88,6 +91,19 @@ func (r *TraceRecorder) Duration(name string, tsPS, durPS int64, tid int, row in
 // string; row < 0 omits the argument.
 func (r *TraceRecorder) Instant(name string, tsPS int64, tid int, row int64) {
 	r.record(traceEvent{name: name, ph: phaseInstant, tsPS: tsPS, tid: tid, row: row})
+}
+
+// FlowStart records the origin of a flow arrow at tsPS on track tid.
+// Perfetto binds flow events by (name, id): emit a FlowEnd with the
+// same name and id on the destination track, and place both inside
+// enclosing duration slices so the arrow has anchors to attach to.
+func (r *TraceRecorder) FlowStart(name string, tsPS int64, tid int, id int64) {
+	r.record(traceEvent{name: name, ph: phaseFlowStart, tsPS: tsPS, tid: tid, row: id})
+}
+
+// FlowEnd records the destination of a flow arrow (see FlowStart).
+func (r *TraceRecorder) FlowEnd(name string, tsPS int64, tid int, id int64) {
+	r.record(traceEvent{name: name, ph: phaseFlowEnd, tsPS: tsPS, tid: tid, row: id})
 }
 
 func (r *TraceRecorder) record(e traceEvent) {
@@ -175,11 +191,22 @@ func EncodeTrace(w io.Writer, recs []*TraceRecorder) error {
 			if e.ph == phaseInstant {
 				b.WriteString(`,"s":"t"`)
 			}
+			flow := e.ph == phaseFlowStart || e.ph == phaseFlowEnd
+			if flow {
+				// Flow events bind by (cat, name, id); bp:"e" attaches the
+				// arrow head to the enclosing slice rather than the next one.
+				b.WriteString(`,"cat":"flow","id":"`)
+				b.WriteString(strconv.FormatInt(e.row, 10))
+				b.WriteString(`"`)
+				if e.ph == phaseFlowEnd {
+					b.WriteString(`,"bp":"e"`)
+				}
+			}
 			b.WriteString(`,"pid":`)
 			b.WriteString(strconv.Itoa(pid))
 			b.WriteString(`,"tid":`)
 			b.WriteString(strconv.Itoa(e.tid))
-			if e.row >= 0 {
+			if e.row >= 0 && !flow {
 				b.WriteString(`,"args":{"row":`)
 				b.WriteString(strconv.FormatInt(e.row, 10))
 				b.WriteString(`}`)

@@ -14,6 +14,9 @@ echo "== go build"
 go build ./...
 
 echo "== go test -race"
+# Full suite under the race detector; this is also the concurrency gate
+# for the telemetry publisher (concurrent Publish/snapshot/Shutdown) and
+# the exp observer attach/flush paths.
 go test -race ./...
 
 echo "== engine cross-check: container/heap reference queue (-tags sim_refheap)"
@@ -40,6 +43,23 @@ go run ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 \
 cmp "$tmp_quad" "$tmp_obs"
 test -s "$tmp_sink" && test -s "$tmp_sink.trace"
 rm -f "$tmp_sink.trace"
+
+echo "== request-trace determinism: sampled tracing renders identical figures"
+# Same figure again with the per-request flight recorder sampling 1-in-7
+# demand loads: sampling derives from seed+core only (no engine events,
+# no RNG draws), so the rendered figure must stay byte-identical and the
+# attribution sink must be non-empty.
+go run ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 \
+    -reqtrace 7 -reqtrace-out "$tmp_sink.req" >"$tmp_obs" 2>/dev/null
+cmp "$tmp_quad" "$tmp_obs"
+test -s "$tmp_sink.req"
+rm -f "$tmp_sink.req"
+
+echo "== explain smoke (dasbench -explain standard,das)"
+# Full attribution pipeline end to end: Explain fails if any traced
+# request violates the components-sum-to-total invariant, so a clean
+# exit is the invariant check over real Standard and DAS runs.
+go run ./cmd/dasbench -explain standard,das -benchmarks mcf -instr 200000 >/dev/null
 
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz FuzzScheduleOrder -fuzztime 10s ./internal/sim
