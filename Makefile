@@ -8,8 +8,8 @@
 # writes BENCH_latest.json for comparison against BENCH_baseline.json:
 #   make bench
 # Regression gate alone (also part of make check): BenchmarkFig7a vs
-# the checked-in baseline, failing on >10% events/s drop or >10%
-# allocs/op rise:
+# the checked-in baseline, failing on >10% wall ns/op rise, >10%
+# instr/s drop, or >10% allocs/op rise:
 #   make bench-compare
 # Cross-design attribution report (where each request's nanoseconds go
 # and why standard != das); regenerates the committed results_explain.txt:

@@ -97,12 +97,16 @@ func BenchmarkTable2Workloads(b *testing.B) {
 // BenchmarkFig7a regenerates Figure 7a in miniature: single-programmed
 // improvements of every design. This is the acceptance benchmark for
 // engine-hot-path work: alongside the paper-shape %imp metrics (which
-// must not move) it reports simulated events/sec and allocations
-// (compare against BENCH_baseline.json).
+// must not move) it reports simulated instructions/sec, events/sec and
+// allocations (compare against BENCH_baseline.json). instr/s is the
+// gated throughput metric: the retirement stream is invariant under
+// scheduler changes, whereas next-event scheduling deliberately
+// executes fewer engine events per run, which makes events/s
+// incomparable across scheduling rewrites (informational only).
 func BenchmarkFig7a(b *testing.B) {
 	cfg := benchConfig()
 	b.ReportAllocs()
-	var events uint64
+	var events, instrs uint64
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(cfg)
 		for _, d := range []core.Design{core.SAS, core.CHARM, core.DAS, core.DASFM, core.FS} {
@@ -110,9 +114,11 @@ func BenchmarkFig7a(b *testing.B) {
 			b.ReportMetric(imp, fmt.Sprintf("%%imp-%s", metricName(d)))
 		}
 		events += s.EventsExecuted()
+		instrs += s.InstrsRetired()
 	}
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(events)/secs, "events/s")
+		b.ReportMetric(float64(instrs)/secs, "instr/s")
 	}
 }
 

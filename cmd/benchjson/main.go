@@ -15,10 +15,14 @@
 // a baseline document (either the flat {context, benchmarks} shape or
 // BENCH_baseline.json's nested {pre, post} shape, in which case "post"
 // is the reference). The command exits nonzero if any benchmark present
-// in both documents regresses: events/s dropping more than -tolerance
-// (default 10%) or allocs/op rising more than that. Throughput
-// (events/s) is only gated when the baseline was captured on the same
-// CPU; allocation counts are machine-independent and always gated.
+// in both documents regresses: wall ns/op rising more than -tolerance
+// (default 10%), instr/s dropping more than that, or allocs/op rising
+// more than that. Wall-clock metrics (ns/op, instr/s) are only gated
+// when the baseline was captured on the same CPU; allocation counts are
+// machine-independent and always gated. events/s is reported but never
+// gated: next-event scheduling deliberately executes fewer engine
+// events for the same simulation, so the metric does not compare across
+// scheduler generations.
 package main
 
 import (
@@ -164,15 +168,30 @@ func thresholds(tol float64) (minThroughputRatio, maxAllocRatio float64, err err
 
 // compare checks cur against base benchmark-by-benchmark and returns a
 // human-readable report plus the number of gated regressions. Only
-// benchmarks present in both documents are gated; events/s is skipped
+// benchmarks present in both documents are gated. Gated metrics: wall
+// ns/op (may not rise past the ceiling), instr/s (may not drop below
+// the floor), allocs/op (ceiling). The wall-clock gates are skipped
 // (with a note) when the two documents were captured on different CPUs,
-// since wall-clock throughput does not transfer across machines.
+// since neither latency nor throughput transfers across machines;
+// allocation counts always gate. events/s is informational only.
 // minThroughputRatio/maxAllocRatio come from thresholds.
 func compare(cur, base document, minThroughputRatio, maxAllocRatio float64) (report []string, regressions int) {
 	sameCPU := cur.Context["cpu"] != "" && cur.Context["cpu"] == base.Context["cpu"]
 	baseByName := make(map[string]benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseByName[b.Name] = b
+	}
+	// gauge describes one gated metric: lowerIsBetter picks which side of
+	// the tolerance band regresses, wallClock marks it same-CPU-only.
+	type gauge struct {
+		unit          string
+		lowerIsBetter bool
+		wallClock     bool
+	}
+	gauges := []gauge{
+		{"ns/op", true, true},
+		{"instr/s", false, true},
+		{"allocs/op", true, false},
 	}
 	matched := 0
 	for _, b := range cur.Benchmarks {
@@ -181,32 +200,44 @@ func compare(cur, base document, minThroughputRatio, maxAllocRatio float64) (rep
 			continue
 		}
 		matched++
-		if refEPS, ok := ref.Metrics["events/s"]; ok && refEPS > 0 {
-			if eps, ok := b.Metrics["events/s"]; ok {
-				switch {
-				case !sameCPU:
-					report = append(report, fmt.Sprintf("%s: skipping events/s gate (baseline cpu %q != current %q)",
-						b.Name, base.Context["cpu"], cur.Context["cpu"]))
-				case eps < refEPS*minThroughputRatio:
+		for _, g := range gauges {
+			refV, ok := ref.Metrics[g.unit]
+			if !ok || refV <= 0 {
+				continue
+			}
+			v, ok := b.Metrics[g.unit]
+			if !ok {
+				continue
+			}
+			if g.wallClock && !sameCPU {
+				report = append(report, fmt.Sprintf("%s: skipping %s gate (baseline cpu %q != current %q)",
+					b.Name, g.unit, base.Context["cpu"], cur.Context["cpu"]))
+				continue
+			}
+			if g.lowerIsBetter {
+				if v > refV*maxAllocRatio {
 					regressions++
-					report = append(report, fmt.Sprintf("%s: REGRESSION events/s %.0f < %.0f (%.1f%% of baseline %.0f, floor %.0f%%)",
-						b.Name, eps, refEPS*minThroughputRatio, 100*eps/refEPS, refEPS, 100*minThroughputRatio))
-				default:
-					report = append(report, fmt.Sprintf("%s: events/s %.0f vs baseline %.0f (%.1f%%) ok",
-						b.Name, eps, refEPS, 100*eps/refEPS))
+					report = append(report, fmt.Sprintf("%s: REGRESSION %s %.0f > %.0f (%.1f%% of baseline %.0f, ceiling %.0f%%)",
+						b.Name, g.unit, v, refV*maxAllocRatio, 100*v/refV, refV, 100*maxAllocRatio))
+				} else {
+					report = append(report, fmt.Sprintf("%s: %s %.0f vs baseline %.0f (%.1f%%) ok",
+						b.Name, g.unit, v, refV, 100*v/refV))
 				}
+				continue
+			}
+			if v < refV*minThroughputRatio {
+				regressions++
+				report = append(report, fmt.Sprintf("%s: REGRESSION %s %.0f < %.0f (%.1f%% of baseline %.0f, floor %.0f%%)",
+					b.Name, g.unit, v, refV*minThroughputRatio, 100*v/refV, refV, 100*minThroughputRatio))
+			} else {
+				report = append(report, fmt.Sprintf("%s: %s %.0f vs baseline %.0f (%.1f%%) ok",
+					b.Name, g.unit, v, refV, 100*v/refV))
 			}
 		}
-		if refAllocs, ok := ref.Metrics["allocs/op"]; ok && refAllocs > 0 {
-			if allocs, ok := b.Metrics["allocs/op"]; ok {
-				if allocs > refAllocs*maxAllocRatio {
-					regressions++
-					report = append(report, fmt.Sprintf("%s: REGRESSION allocs/op %.0f > %.0f (%.1f%% of baseline %.0f, ceiling %.0f%%)",
-						b.Name, allocs, refAllocs*maxAllocRatio, 100*allocs/refAllocs, refAllocs, 100*maxAllocRatio))
-				} else {
-					report = append(report, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f (%.1f%%) ok",
-						b.Name, allocs, refAllocs, 100*allocs/refAllocs))
-				}
+		if refEPS, ok := ref.Metrics["events/s"]; ok && refEPS > 0 {
+			if eps, ok := b.Metrics["events/s"]; ok {
+				report = append(report, fmt.Sprintf("%s: events/s %.0f vs baseline %.0f (%.1f%%) informational",
+					b.Name, eps, refEPS, 100*eps/refEPS))
 			}
 		}
 	}

@@ -47,13 +47,16 @@ func TestLoadBaselinePrefersPost(t *testing.T) {
 	}
 }
 
-func mkDoc(cpu string, eps, allocs float64) document {
+func mkDoc(cpu string, nsop, ips, allocs float64) document {
 	return document{
 		Context: map[string]string{"cpu": cpu},
 		Benchmarks: []benchmark{{
 			Name:       "BenchmarkFig7a",
 			Iterations: 3,
-			Metrics:    map[string]float64{"events/s": eps, "allocs/op": allocs},
+			Metrics: map[string]float64{
+				"ns/op": nsop, "instr/s": ips, "allocs/op": allocs,
+				"events/s": ips * 2,
+			},
 		}},
 	}
 }
@@ -69,27 +72,40 @@ func compareDefault(t *testing.T, cur, base document) ([]string, int) {
 }
 
 func TestCompareGates(t *testing.T) {
-	base := mkDoc("cpu-x", 1000, 100)
+	base := mkDoc("cpu-x", 1000, 1000, 100)
 
 	// Within thresholds on the same CPU: clean.
-	if report, n := compareDefault(t, mkDoc("cpu-x", 950, 105), base); n != 0 {
+	if report, n := compareDefault(t, mkDoc("cpu-x", 1050, 950, 105), base); n != 0 {
 		t.Fatalf("in-threshold run flagged: %v", report)
 	}
+	// Wall latency rise beyond 10%: regression.
+	if report, n := compareDefault(t, mkDoc("cpu-x", 1150, 1000, 100), base); n != 1 || !strings.Contains(strings.Join(report, "\n"), "ns/op") {
+		t.Fatalf("ns/op rise not gated: n=%d %v", n, report)
+	}
 	// Throughput drop beyond 10%: regression.
-	if report, n := compareDefault(t, mkDoc("cpu-x", 850, 100), base); n != 1 || !strings.Contains(strings.Join(report, "\n"), "events/s") {
-		t.Fatalf("throughput drop not gated: n=%d %v", n, report)
+	if report, n := compareDefault(t, mkDoc("cpu-x", 1000, 850, 100), base); n != 1 || !strings.Contains(strings.Join(report, "\n"), "instr/s") {
+		t.Fatalf("instr/s drop not gated: n=%d %v", n, report)
+	}
+	// events/s is informational: a collapse there alone never gates.
+	cur := mkDoc("cpu-x", 1000, 1000, 100)
+	cur.Benchmarks[0].Metrics["events/s"] = 1
+	report, n := compareDefault(t, cur, base)
+	if n != 0 || !strings.Contains(strings.Join(report, "\n"), "informational") {
+		t.Fatalf("events/s drop gated or unreported: n=%d %v", n, report)
 	}
 	// Allocation rise beyond 10%: regression, even across CPUs.
-	if _, n := compareDefault(t, mkDoc("cpu-y", 10, 120), base); n != 1 {
+	if _, n := compareDefault(t, mkDoc("cpu-y", 10, 10, 120), base); n != 1 {
 		t.Fatalf("alloc rise across CPUs: n=%d, want 1", n)
 	}
-	// Different CPU: throughput skipped with a note, allocs still gated.
-	report, n := compareDefault(t, mkDoc("cpu-y", 10, 100), base)
+	// Different CPU: wall-clock gates skipped with notes, allocs still
+	// gated.
+	report, n = compareDefault(t, mkDoc("cpu-y", 9999, 10, 100), base)
 	if n != 0 {
-		t.Fatalf("cross-CPU throughput gated: %v", report)
+		t.Fatalf("cross-CPU wall-clock gated: %v", report)
 	}
-	if !strings.Contains(strings.Join(report, "\n"), "skipping events/s") {
-		t.Fatalf("no skip note: %v", report)
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "skipping ns/op") || !strings.Contains(joined, "skipping instr/s") {
+		t.Fatalf("no skip notes: %v", report)
 	}
 	// Nothing matched at all: that itself is a failure.
 	empty := document{Context: map[string]string{"cpu": "cpu-x"}}
@@ -117,14 +133,14 @@ func TestThresholds(t *testing.T) {
 }
 
 func TestCompareTolerance(t *testing.T) {
-	base := mkDoc("cpu-x", 1000, 100)
-	cur := mkDoc("cpu-x", 850, 115) // -15% throughput, +15% allocs
+	base := mkDoc("cpu-x", 1000, 1000, 100)
+	cur := mkDoc("cpu-x", 1150, 850, 115) // +15% ns/op, -15% instr/s, +15% allocs
 
-	// Default 10%: both metrics regress.
-	if report, n := compareDefault(t, cur, base); n != 2 {
-		t.Fatalf("10%% tolerance: n=%d, want 2: %v", n, report)
+	// Default 10%: all three gated metrics regress.
+	if report, n := compareDefault(t, cur, base); n != 3 {
+		t.Fatalf("10%% tolerance: n=%d, want 3: %v", n, report)
 	}
-	// Loosened to 20%: both pass.
+	// Loosened to 20%: all pass.
 	minEPS, maxAllocs, err := thresholds(0.20)
 	if err != nil {
 		t.Fatal(err)
@@ -137,7 +153,7 @@ func TestCompareTolerance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, n := compare(mkDoc("cpu-x", 999, 101), base, minEPS, maxAllocs); n != 2 {
-		t.Fatalf("0%% tolerance: n=%d, want 2", n)
+	if _, n := compare(mkDoc("cpu-x", 1001, 999, 101), base, minEPS, maxAllocs); n != 3 {
+		t.Fatalf("0%% tolerance: n=%d, want 3", n)
 	}
 }

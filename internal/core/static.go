@@ -10,23 +10,44 @@ import (
 // baseline (Standard) run. The static designs (SAS-DRAM, CHARM) consume
 // it to pre-assign the hottest rows to the fast level, mirroring the
 // paper's offline profiling of each workload.
+//
+// Global row ids are dense (Geometry.RowID), so the counts live in a
+// flat slice grown on demand: the profiling pass records tens of
+// millions of touches, and a map's hash-and-probe per touch dominated
+// its cost.
 type RowProfile struct {
-	counts map[uint64]uint64 // global row id -> demand accesses
+	counts   []uint64 // indexed by global row id
+	distinct int
 }
 
 // NewRowProfile returns an empty profile.
 func NewRowProfile() *RowProfile {
-	return &RowProfile{counts: make(map[uint64]uint64)}
+	return &RowProfile{}
 }
 
 // Record adds one access to a global row id.
-func (p *RowProfile) Record(rowID uint64) { p.counts[rowID]++ }
+func (p *RowProfile) Record(rowID uint64) {
+	if rowID >= uint64(len(p.counts)) {
+		grown := make([]uint64, rowID+rowID/2+1)
+		copy(grown, p.counts)
+		p.counts = grown
+	}
+	if p.counts[rowID] == 0 {
+		p.distinct++
+	}
+	p.counts[rowID]++
+}
 
 // Rows returns the number of distinct rows touched.
-func (p *RowProfile) Rows() int { return len(p.counts) }
+func (p *RowProfile) Rows() int { return p.distinct }
 
 // Count returns the recorded accesses of a row.
-func (p *RowProfile) Count(rowID uint64) uint64 { return p.counts[rowID] }
+func (p *RowProfile) Count(rowID uint64) uint64 {
+	if rowID >= uint64(len(p.counts)) {
+		return 0
+	}
+	return p.counts[rowID]
+}
 
 // StaticAssignment marks which rows a static design pre-assigned to the
 // fast level.
@@ -63,8 +84,11 @@ func BuildStaticAssignment(p *RowProfile, geom dram.Geometry, fastDenom int) *St
 	}
 	byBank := make(map[int][]rowCount)
 	for row, count := range p.counts {
-		bank := int(row / uint64(geom.Rows))
-		byBank[bank] = append(byBank[bank], rowCount{row, count})
+		if count == 0 {
+			continue
+		}
+		bank := row / geom.Rows
+		byBank[bank] = append(byBank[bank], rowCount{uint64(row), count})
 	}
 	a := &StaticAssignment{fast: make(map[uint64]struct{})}
 	for _, rows := range byBank {

@@ -215,8 +215,8 @@ func TestFootprintTracking(t *testing.T) {
 		instrs = append(instrs, workload.Instr{Mem: true, Addr: uint64(i) << 12})
 	}
 	c, _, _ := run(t, DefaultConfig(), &scriptGen{instrs: instrs}, 10, 100)
-	if len(c.Stats.Pages) != 10 {
-		t.Fatalf("tracked %d pages, want 10", len(c.Stats.Pages))
+	if c.Stats.UniquePages != 10 {
+		t.Fatalf("tracked %d pages, want 10", c.Stats.UniquePages)
 	}
 }
 

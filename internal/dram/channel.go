@@ -20,6 +20,7 @@ const (
 // per channel, which models the command bus implicitly.
 type Channel struct {
 	dev   *Device
+	idx   int
 	ranks []*Rank
 
 	busBusyUntil sim.Time
@@ -27,8 +28,8 @@ type Channel struct {
 	busDirection busDir
 }
 
-func newChannel(dev *Device, ranks, banks int) *Channel {
-	ch := &Channel{dev: dev, busRank: -1}
+func newChannel(dev *Device, idx, ranks, banks int) *Channel {
+	ch := &Channel{dev: dev, idx: idx, busRank: -1}
 	for i := 0; i < ranks; i++ {
 		ch.ranks = append(ch.ranks, newRank(banks))
 	}
@@ -92,6 +93,9 @@ func (ch *Channel) Activate(t sim.Time, rank, bank, row int, cls RowClass) {
 	if tel := ch.dev.tel; tel != nil {
 		tel.noteActivate(cls, p.Duration(p.TRCD))
 	}
+	if log := ch.dev.cmdLog; log != nil {
+		log(t, CmdActivate, ch.idx, rank, bank, row)
+	}
 }
 
 // CanRead reports whether RD(rank, bank) may issue at t.
@@ -108,11 +112,15 @@ func (ch *Channel) CanRead(t sim.Time, rank, bank int) bool {
 // Read issues RD at t and returns the absolute time the data burst ends.
 func (ch *Channel) Read(t sim.Time, rank, bank int) sim.Time {
 	b := ch.ranks[rank].banks[bank]
+	row := b.openRow
 	end := b.read(t)
 	ch.claimBus(end, rank, busRead)
 	if tel := ch.dev.tel; tel != nil {
 		tel.rd.Inc()
 		tel.occRD.Add(uint64(end - t))
+	}
+	if log := ch.dev.cmdLog; log != nil {
+		log(t, CmdRead, ch.idx, rank, bank, row)
 	}
 	return end
 }
@@ -132,6 +140,7 @@ func (ch *Channel) CanWrite(t sim.Time, rank, bank int) bool {
 func (ch *Channel) Write(t sim.Time, rank, bank int) sim.Time {
 	r := ch.ranks[rank]
 	b := r.banks[bank]
+	row := b.openRow
 	end := b.write(t)
 	p := b.rowPar
 	r.noteWriteBurst(end, p.Duration(p.TWTR))
@@ -139,6 +148,9 @@ func (ch *Channel) Write(t sim.Time, rank, bank int) sim.Time {
 	if tel := ch.dev.tel; tel != nil {
 		tel.wr.Inc()
 		tel.occWR.Add(uint64(end - t))
+	}
+	if log := ch.dev.cmdLog; log != nil {
+		log(t, CmdWrite, ch.idx, rank, bank, row)
 	}
 	return end
 }
@@ -151,11 +163,15 @@ func (ch *Channel) CanPrecharge(t sim.Time, rank, bank int) bool {
 // Precharge issues PRE at t.
 func (ch *Channel) Precharge(t sim.Time, rank, bank int) {
 	b := ch.ranks[rank].banks[bank]
+	row := b.openRow
 	b.precharge(t)
 	if tel := ch.dev.tel; tel != nil {
 		p := b.rowPar
 		tel.pre.Inc()
 		tel.occPRE.Add(uint64(p.Duration(p.TRP)))
+	}
+	if log := ch.dev.cmdLog; log != nil {
+		log(t, CmdPrecharge, ch.idx, rank, bank, row)
 	}
 }
 
@@ -177,6 +193,9 @@ func (ch *Channel) Refresh(t sim.Time, rank int) {
 		tel.ref.Inc()
 		tel.occREF.Add(uint64(p.Duration(p.TRFC)))
 	}
+	if log := ch.dev.cmdLog; log != nil {
+		log(t, CmdRefresh, ch.idx, rank, -1, -1)
+	}
 }
 
 // CanMigrate reports whether a migration of srcRow may start on
@@ -194,6 +213,9 @@ func (ch *Channel) Migrate(t sim.Time, rank, bank int) sim.Time {
 	if tel := ch.dev.tel; tel != nil {
 		tel.mig.Inc()
 		tel.occMIG.Add(uint64(ch.dev.migrationLatency))
+	}
+	if log := ch.dev.cmdLog; log != nil {
+		log(t, CmdMigrate, ch.idx, rank, bank, -1)
 	}
 	return t + ch.dev.migrationLatency
 }

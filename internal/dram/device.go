@@ -43,6 +43,20 @@ type Device struct {
 	// tel is the live instrument set (nil = telemetry off, the default;
 	// see AttachTelemetry).
 	tel *deviceTelemetry
+
+	// cmdLog, when non-nil, observes every command at issue time (nil =
+	// off, the default; see SetCommandLog). Rank/bank/row are -1 where a
+	// command has no such coordinate (REF covers a whole rank, MIG's row
+	// pair is controller-side state).
+	cmdLog func(t sim.Time, kind CommandKind, channel, rank, bank, row int)
+}
+
+// SetCommandLog installs (or, with nil, removes) a command observer. It
+// exists for the scheduler equivalence tests: recording the exact
+// (time, command, coordinate) stream a controller produces. The hook
+// must not mutate simulation state.
+func (d *Device) SetCommandLog(fn func(t sim.Time, kind CommandKind, channel, rank, bank, row int)) {
+	d.cmdLog = fn
 }
 
 // New validates cfg and builds the device.
@@ -70,7 +84,7 @@ func New(cfg Config) (*Device, error) {
 		migrationLatency: cfg.MigrationLatency,
 	}
 	for i := 0; i < cfg.Geometry.Channels; i++ {
-		d.channels = append(d.channels, newChannel(d, cfg.Geometry.Ranks, cfg.Geometry.Banks))
+		d.channels = append(d.channels, newChannel(d, i, cfg.Geometry.Ranks, cfg.Geometry.Banks))
 	}
 	// Stagger initial refresh due times across ranks so all ranks do not
 	// refresh in lock-step (as real controllers do).

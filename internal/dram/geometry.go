@@ -5,7 +5,10 @@
 // bank for their configured latency.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Geometry describes the physical organization of the memory system.
 type Geometry struct {
@@ -70,14 +73,14 @@ type Coord struct {
 	Channel, Rank, Bank, Row, Column int
 }
 
-// log2 of a power of two.
+// log2 of a power of two. Decode sits on the per-access hot path (five
+// calls per address), so this must compile to a single bit-scan rather
+// than a shift loop.
 func log2(v int) uint {
-	var n uint
-	for v > 1 {
-		v >>= 1
-		n++
+	if v <= 1 {
+		return 0
 	}
-	return n
+	return uint(bits.Len(uint(v)) - 1)
 }
 
 // Decode maps a physical byte address to its coordinate. The bit layout,

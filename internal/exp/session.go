@@ -42,6 +42,13 @@ type Session struct {
 	// (cache hits add nothing), feeding the per-figure events/sec
 	// reporting and the benchmark suite.
 	events atomic.Uint64
+
+	// instrs totals instructions retired by this session's fresh runs.
+	// Unlike events it is invariant under scheduler changes (next-event
+	// versus per-cycle polling executes the same retirement stream with
+	// far fewer events), so instr/s is the benchmark throughput metric
+	// that stays comparable across engine rewrites.
+	instrs atomic.Uint64
 }
 
 type resultEntry struct {
@@ -99,6 +106,23 @@ func (s *Session) entry(benchmarks []string) *baselineEntry {
 // session performed (memoized results count once, when they ran).
 func (s *Session) EventsExecuted() uint64 { return s.events.Load() }
 
+// InstrsRetired reports the total instructions retired by runs this
+// session performed (memoized results count once, when they ran).
+func (s *Session) InstrsRetired() uint64 { return s.instrs.Load() }
+
+// countRun folds one fresh run's totals into the session counters.
+func (s *Session) countRun(res *Result) {
+	if res == nil {
+		return
+	}
+	s.events.Add(res.Events)
+	var n uint64
+	for _, c := range res.PerCore {
+		n += c.Retired
+	}
+	s.instrs.Add(n)
+}
+
 // Baseline runs (once) the Standard design for the benchmark set.
 func (s *Session) Baseline(benchmarks []string) (*Result, error) {
 	e := s.entry(benchmarks)
@@ -115,9 +139,7 @@ func (s *Session) Baseline(benchmarks []string) (*Result, error) {
 		if e.err == nil {
 			s.observers.add(obs)
 		}
-		if e.res != nil {
-			s.events.Add(e.res.Events)
-		}
+		s.countRun(e.res)
 	})
 	return e.res, e.err
 }
@@ -174,9 +196,7 @@ func (s *Session) Run(cfg config.Config, design core.Design, benchmarks []string
 	if err == nil {
 		s.observers.add(obs)
 	}
-	if res != nil {
-		s.events.Add(res.Events)
-	}
+	s.countRun(res)
 	return res, err
 }
 

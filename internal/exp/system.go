@@ -324,7 +324,7 @@ func (s *System) collect() *Result {
 			Retired:     c.Stats.Retired,
 			LLCMisses:   misses,
 			Promotions:  proms,
-			FootprintMB: float64(len(c.Stats.Pages)) * 4096 / (1 << 20),
+			FootprintMB: float64(c.Stats.UniquePages) * 4096 / (1 << 20),
 		}
 		if kilo > 0 {
 			cr.MPKI = float64(misses) / kilo

@@ -78,6 +78,10 @@ type Controller struct {
 	// see AttachTelemetry).
 	tel *mcTelemetry
 
+	// sched is the controller-level part of the per-build-tag tick
+	// scheduler (empty for the mc_polltick polling build).
+	sched ctlSched
+
 	Stats Stats
 }
 
@@ -91,6 +95,7 @@ func New(cfg Config, eng *sim.Engine, dev *dram.Device, cores int) (*Controller,
 		c.Stats.PerCore = make([][3]uint64, cores)
 	}
 	clock := sim.NewClock(dev.ClockPeriod())
+	c.initCtlSched(eng, clock)
 	for i := 0; i < dev.Channels(); i++ {
 		cc := &chanCtl{
 			ctl: c,
@@ -100,7 +105,9 @@ func New(cfg Config, eng *sim.Engine, dev *dram.Device, cores int) (*Controller,
 		geo := dev.Geometry()
 		cc.reserved = make([]bool, geo.Ranks*geo.Banks)
 		cc.refreshPending = make([]bool, geo.Ranks)
-		cc.ticker = sim.NewTicker(eng, clock, cc.tick)
+		cc.pendR = make([]int32, geo.Ranks*geo.Banks)
+		cc.pendW = make([]int32, geo.Ranks*geo.Banks)
+		cc.initSched(eng, clock)
 		c.chans = append(c.chans, cc)
 	}
 	return c, nil
@@ -122,6 +129,9 @@ func (c *Controller) Enqueue(req *Request) {
 	}
 	if req.Write {
 		cc.writeQ = append(cc.writeQ, req)
+		if len(cc.writeQ) <= c.cfg.WindowSize {
+			cc.notePend(req, 1)
+		}
 		if req.Done != nil {
 			done := req.Done
 			req.Done = nil
@@ -129,6 +139,9 @@ func (c *Controller) Enqueue(req *Request) {
 		}
 	} else {
 		cc.readQ = append(cc.readQ, req)
+		if len(cc.readQ) <= c.cfg.WindowSize {
+			cc.notePend(req, 1)
+		}
 	}
 	cc.wake()
 }
@@ -226,11 +239,73 @@ type chanCtl struct {
 	refreshPending []bool // rank -> refresh overdue, drain it
 	drain          bool   // write-drain mode
 
-	ticker *sim.Ticker
+	// pendR/pendW index the scheduling window by bank: entry
+	// rank*banks+bank counts windowed reads/writes targeting that bank.
+	// Window membership is positional (the first WindowSize queue
+	// entries), so the counts depend only on enqueue/remove order, never
+	// on bank state — pendingRowHit and closeIdleRows consult them to
+	// skip whole banks without scanning the window.
+	pendR, pendW []int32
+
+	// sched is the per-build-tag tick scheduler: next-event by default,
+	// per-cycle polling under -tags mc_polltick.
+	sched chanSched
 }
 
-// wake ensures the scheduler is ticking.
-func (cc *chanCtl) wake() { cc.ticker.Start() }
+// bankIndex flattens (rank, bank) for the reservation and pending maps.
+func (cc *chanCtl) bankIndex(rank, bank int) int {
+	return rank*cc.ctl.dev.Geometry().Banks + bank
+}
+
+// notePend adjusts the window index when a request enters (+1) or leaves
+// (-1) the scheduling window.
+func (cc *chanCtl) notePend(req *Request, delta int32) {
+	idx := cc.bankIndex(req.Coord.Rank, req.Coord.Bank)
+	if req.Write {
+		cc.pendW[idx] += delta
+	} else {
+		cc.pendR[idx] += delta
+	}
+}
+
+// idleQuiet reports whether the channel has nothing at all to do at
+// time t: no queued demand or migrations, no refresh pending or due on
+// any rank, and (closed page) no rows left open. Both tick schedulers
+// stop ticking exactly when this holds — sharing the predicate keeps
+// their stop (and therefore restart-order) behavior identical.
+func (cc *chanCtl) idleQuiet(t sim.Time) bool {
+	if len(cc.readQ) > 0 || len(cc.writeQ) > 0 || len(cc.migQ) > 0 {
+		return false
+	}
+	for r := 0; r < cc.ch.Ranks(); r++ {
+		if cc.refreshPending[r] || cc.ch.RefreshDue(t, r) {
+			return false
+		}
+	}
+	if cc.ctl.cfg.ClosedPage {
+		for r := 0; r < cc.ch.Ranks(); r++ {
+			for b := 0; b < cc.ctl.dev.Geometry().Banks; b++ {
+				if cc.ch.Rank(r).Bank(b).HasOpenRow() {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// earliestRefreshDue returns the earliest future refresh deadline on the
+// channel; a fully stopped scheduler arranges to wake then.
+func (cc *chanCtl) earliestRefreshDue() sim.Time {
+	var earliest sim.Time = -1
+	for r := 0; r < cc.ch.Ranks(); r++ {
+		due := cc.ch.Rank(r).NextRefreshDue()
+		if earliest < 0 || due < earliest {
+			earliest = due
+		}
+	}
+	return earliest
+}
 
 // bankReserved reports whether (rank, bank) is held for a migration.
 func (cc *chanCtl) bankReserved(rank, bank int) bool {
@@ -254,26 +329,29 @@ func (cc *chanCtl) bankBlocked(rank, bank int, t sim.Time) bool {
 	return true
 }
 
-// tick issues at most one command on this channel per DRAM cycle.
-func (cc *chanCtl) tick() {
-	t := cc.ctl.eng.Now()
+// dispatch issues at most one command on this channel for the cycle at
+// time t, in strict priority order (refresh, migration, row-hit columns,
+// row commands, closed-page precharges), and reports whether a command
+// issued. Both tick schedulers (next-event and mc_polltick polling) run
+// exactly this sequence, so the command stream is decided here alone.
+func (cc *chanCtl) dispatch(t sim.Time) bool {
 	if cc.issueRefresh(t) {
-		return
+		return true
 	}
 	if cc.issueMigration(t) {
-		return
+		return true
 	}
 	cc.updateDrainMode()
 	if cc.issueColumn(t) {
-		return
+		return true
 	}
 	if cc.issueRowCommand(t) {
-		return
+		return true
 	}
 	if cc.ctl.cfg.ClosedPage && cc.closeIdleRows(t) {
-		return
+		return true
 	}
-	cc.maybeSleep(t)
+	return false
 }
 
 // closeIdleRows implements the closed-page policy: precharge any open
@@ -300,49 +378,6 @@ func (cc *chanCtl) closeIdleRows(t sim.Time) bool {
 	}
 	return false
 }
-
-// maybeSleep stops the ticker when there is no work, arranging a wake-up
-// for the next refresh deadline.
-func (cc *chanCtl) maybeSleep(t sim.Time) {
-	if len(cc.readQ) > 0 || len(cc.writeQ) > 0 || len(cc.migQ) > 0 {
-		return
-	}
-	for r := 0; r < cc.ch.Ranks(); r++ {
-		if cc.refreshPending[r] || cc.ch.RefreshDue(t, r) {
-			return
-		}
-	}
-	if cc.ctl.cfg.ClosedPage {
-		// Closed-page still owes precharges to idle open rows.
-		for r := 0; r < cc.ch.Ranks(); r++ {
-			for b := 0; b < cc.ctl.dev.Geometry().Banks; b++ {
-				if cc.ch.Rank(r).Bank(b).HasOpenRow() {
-					return
-				}
-			}
-		}
-	}
-	cc.ticker.Stop()
-	// Earliest future refresh deadline restarts the scheduler.
-	var earliest sim.Time = -1
-	for r := 0; r < cc.ch.Ranks(); r++ {
-		due := cc.ch.Rank(r).NextRefreshDue()
-		if earliest < 0 || due < earliest {
-			earliest = due
-		}
-	}
-	if earliest >= 0 {
-		delay := earliest - t
-		if delay < 0 {
-			delay = 0
-		}
-		cc.ctl.eng.ScheduleCall(delay, chanWake, cc, nil)
-	}
-}
-
-// chanWake is the trampoline for refresh-deadline wake-ups (a cc.wake
-// method value would allocate at every sleep/wake transition).
-func chanWake(a, _ any) { a.(*chanCtl).wake() }
 
 // issueRefresh gives overdue refreshes absolute priority: the rank is
 // drained (open banks precharged) and refreshed.
@@ -463,8 +498,12 @@ func (cc *chanCtl) dropTraced(req *Request) {
 }
 
 // pendingRowHit reports whether any windowed request targets the open
-// row of (rank, bank).
+// row of (rank, bank). The window index answers the common case — no
+// windowed request touches the bank at all — without a scan.
 func (cc *chanCtl) pendingRowHit(rank, bank, row int) bool {
+	if idx := cc.bankIndex(rank, bank); cc.pendR[idx] == 0 && cc.pendW[idx] == 0 {
+		return false
+	}
 	for _, req := range cc.window(cc.readQ) {
 		if req.Coord.Rank == rank && req.Coord.Bank == bank && req.Coord.Row == row {
 			return true
@@ -716,7 +755,10 @@ func (cc *chanCtl) account(req *Request, isWrite bool) {
 	}
 }
 
-// remove deletes req from its queue.
+// remove deletes req from its queue and maintains the window index:
+// requests are only ever issued (and hence removed) from inside the
+// scheduling window, so the departure frees a window slot that the
+// request at position WindowSize, if any, slides into.
 func (cc *chanCtl) remove(req *Request, isWrite bool) {
 	q := &cc.readQ
 	if isWrite {
@@ -724,6 +766,10 @@ func (cc *chanCtl) remove(req *Request, isWrite bool) {
 	}
 	for i, r := range *q {
 		if r == req {
+			cc.notePend(req, -1)
+			if len(*q) > cc.ctl.cfg.WindowSize {
+				cc.notePend((*q)[cc.ctl.cfg.WindowSize], 1)
+			}
 			*q = append((*q)[:i], (*q)[i+1:]...)
 			return
 		}

@@ -1,0 +1,238 @@
+//go:build !mc_polltick
+
+package mc
+
+import (
+	"repro/internal/sim"
+)
+
+// Next-event tick scheduling (the default): a tick that issues a command
+// chains a tick at the next DRAM cycle, exactly like the old per-cycle
+// ticker; a tick that issues nothing computes the earliest future time
+// any candidate command could become issuable (horizon.go) and sleeps
+// until then instead of polling every cycle.
+//
+// Byte-identity with the mc_polltick polling scheduler needs more than
+// per-channel timing: when two channels tick at the same instant, the
+// commands they issue schedule completions whose engine-sequence order
+// follows the tick order, and same-instant completions on different
+// channels are observable through shared downstream state (fills waking
+// cores, the DAS manager). Three rules make the orders identical:
+//
+//  1. Ticks fire after every same-timestamp queue mutation. Every event
+//     that reaches Enqueue/Migrate is delivered by an event scheduled
+//     more than one DRAM period before it fires (the shortest hop in the
+//     system is the LLC lookup latency), so a tick event scheduled
+//     during the previous cycle — or at the current instant by the wake
+//     a mutation itself triggers — always fires after the mutations.
+//     Long sleeps therefore double-hop: the wake event fires at the
+//     horizon and schedules the real tick with a fresh sequence number.
+//
+//  2. Same-instant ticks across channels run inside ONE coalesced
+//     controller event, in ascending chainKey order. A polling Ticker
+//     keeps its chain position (its events stay ahead of younger chains
+//     at shared instants) until it fully stops, and a restart re-enters
+//     behind every live chain; chainKey records exactly that age, so the
+//     coalesced order reproduces the polling order no matter when the
+//     next-event tick events themselves were scheduled.
+//
+//  3. Channels stop and restart exactly where the polling build does:
+//     the shared idleQuiet predicate decides stopping, a stop schedules
+//     the same refresh-deadline wake event the polling build schedules
+//     (a real event, so its delivery order against same-instant enqueues
+//     matches), and only a restart — never a horizon wake, which the
+//     polling build doesn't have — assigns a fresh chainKey.
+
+// ctlSched is the controller-level scheduler state: one coalesced tick
+// event serves every channel due at an instant.
+type ctlSched struct {
+	eng   *sim.Engine
+	clock sim.Clock
+	// keyGen hands out chainKeys; a channel keeps its key until it fully
+	// stops and restarts.
+	keyGen uint64
+	// tickAt is the target of the most recent coalesced tick event, for
+	// dedup only (-1 = none pending); per-channel dueAt decides what runs.
+	tickAt sim.Time
+}
+
+// initCtlSched prepares the coalesced tick state.
+func (c *Controller) initCtlSched(eng *sim.Engine, clock sim.Clock) {
+	c.sched = ctlSched{eng: eng, clock: clock, tickAt: -1}
+}
+
+// chanSched is the per-channel next-event state.
+type chanSched struct {
+	// chainKey orders same-instant ticks across channels (rule 2).
+	chainKey uint64
+	// running mirrors the polling Ticker's running flag: false only after
+	// an idleQuiet stop, until the next wake restarts the chain.
+	running bool
+	// dueAt is the instant of this channel's next tick (-1 = none). Tick
+	// targets never exceed one cycle out; longer waits go through wake
+	// events (rule 1).
+	dueAt sim.Time
+	// lastTick is the instant of this channel's most recent tick (-1 =
+	// never); see chanRestartWake.
+	lastTick sim.Time
+	// wakeAt is the earliest in-flight horizon wake instant (-1 = none),
+	// deduplicating wake-ups across consecutive idle ticks.
+	wakeAt sim.Time
+}
+
+// initSched prepares next-event scheduling state.
+func (cc *chanCtl) initSched(eng *sim.Engine, clock sim.Clock) {
+	cc.sched = chanSched{dueAt: -1, lastTick: -1, wakeAt: -1}
+}
+
+// wake requests a tick at the current cycle edge (Enqueue/Migrate call
+// this, as does the refresh-deadline wake of a stopped channel). If the
+// channel had fully stopped, this is the chain restart: it re-enters the
+// tick order behind every channel that kept ticking, exactly like a
+// polling Ticker restarted by the same call.
+func (cc *chanCtl) wake() {
+	s := &cc.sched
+	cs := &cc.ctl.sched
+	if !s.running {
+		s.running = true
+		cs.keyGen++
+		s.chainKey = cs.keyGen
+	}
+	cc.ensureDue(cs.clock.NextEdge(cs.eng.Now()))
+}
+
+// ensureDue marks the channel due at `at` unless an earlier tick is
+// already arranged, and makes sure a coalesced event covers it.
+func (cc *chanCtl) ensureDue(at sim.Time) {
+	s := &cc.sched
+	if s.dueAt >= 0 && s.dueAt <= at {
+		return
+	}
+	s.dueAt = at
+	cc.ctl.ensureTick(at)
+}
+
+// ensureTick schedules the coalesced tick event at `at` unless a pending
+// event fires at or before it. Targets are always within one cycle of
+// now, so a pending event's sequence number always exceeds that of any
+// event delivering a same-instant queue mutation (rule 1).
+func (c *Controller) ensureTick(at sim.Time) {
+	cs := &c.sched
+	if cs.tickAt >= cs.eng.Now() && cs.tickAt <= at {
+		return
+	}
+	cs.tickAt = at
+	cs.eng.ScheduleCallAt(at, ctlTick, c, nil)
+}
+
+// ctlTick runs every channel due at this instant in ascending chainKey
+// order (rule 2). Duplicate events for one instant are harmless: the
+// first one ticks the due channels, later ones find nothing due.
+func ctlTick(a, _ any) {
+	c := a.(*Controller)
+	cs := &c.sched
+	t := cs.eng.Now()
+	if t >= cs.tickAt {
+		cs.tickAt = -1
+	}
+	for {
+		var next *chanCtl
+		for _, cc := range c.chans {
+			if cc.sched.dueAt != t {
+				continue
+			}
+			if next == nil || cc.sched.chainKey < next.sched.chainKey {
+				next = cc
+			}
+		}
+		if next == nil {
+			return
+		}
+		next.tickOne(t)
+	}
+}
+
+// tickOne runs one scheduling cycle for this channel and arranges the
+// next: chained at the next cycle while commands flow (or while the
+// horizon is that close), slept-through otherwise, fully stopped when
+// the channel is idleQuiet.
+func (cc *chanCtl) tickOne(t sim.Time) {
+	s := &cc.sched
+	cs := &cc.ctl.sched
+	s.dueAt = -1
+	s.lastTick = t
+	next := t + cs.clock.Period()
+	if cc.dispatch(t) {
+		cc.ensureDue(next)
+		return
+	}
+	if cc.idleQuiet(t) {
+		// Full stop, exactly where the polling ticker stops (rule 3). The
+		// refresh-deadline wake restarts the chain unless an enqueue gets
+		// there first.
+		s.running = false
+		delay := cc.earliestRefreshDue() - t
+		if delay < 0 {
+			delay = 0
+		}
+		cs.eng.ScheduleCall(delay, chanRestartWake, cc, nil)
+		return
+	}
+	h := cc.horizon(t)
+	if h <= next {
+		// Due next cycle (or overdue: a past horizon degrades to polling,
+		// never to a missed command).
+		cc.ensureDue(next)
+		return
+	}
+	wakeAt := cs.clock.NextEdge(h)
+	if s.wakeAt >= 0 && s.wakeAt <= wakeAt && s.wakeAt > t {
+		return // an earlier wake is already in flight
+	}
+	s.wakeAt = wakeAt
+	cs.eng.ScheduleCall(wakeAt-t, chanHorizonWake, cc, nil)
+}
+
+// chanRestartWake is the refresh-deadline wake of a fully stopped
+// channel — the same event the polling build schedules on stop, so its
+// delivery order against same-instant enqueues matches. Via wake() it
+// restarts the chain if the channel is still stopped and is a no-op
+// spurious tick otherwise.
+//
+// The lastTick guard covers a coalescing artifact: in the polling build
+// a stale wake firing at an instant where the channel also ticks always
+// fires BEFORE that tick (wakes are scheduled at strictly earlier
+// instants than the fresh Start-scheduled tick events they could race,
+// so their sequence numbers are smaller), and finds the ticker running —
+// a no-op. Here the channel's tick can ride a coalesced event scheduled
+// earlier than the stale wake, inverting that order; if the wake then
+// fired it would re-arm a second tick at an instant the channel already
+// ticked (two commands in one cycle) or spuriously restart a chain that
+// stopped this instant. Skipping reproduces the polling no-op exactly.
+func chanRestartWake(a, _ any) {
+	cc := a.(*chanCtl)
+	if cc.sched.lastTick == cc.ctl.sched.eng.Now() {
+		return
+	}
+	cc.wake()
+}
+
+// chanHorizonWake resumes a sleeping (but not stopped) channel at its
+// timing horizon. It must NOT restart the chain: the polling build has
+// no such event, and the channel's polling ticker would have kept its
+// chain position straight through the sleep. It fires at the horizon
+// instant, possibly before same-instant queue mutations — harmless,
+// because it only schedules the real tick via ensureDue.
+func chanHorizonWake(a, _ any) {
+	cc := a.(*chanCtl)
+	s := &cc.sched
+	cs := &cc.ctl.sched
+	now := cs.eng.Now()
+	if s.wakeAt >= 0 && now >= s.wakeAt {
+		s.wakeAt = -1
+	}
+	if !s.running {
+		return // stale: the channel fully stopped after this was scheduled
+	}
+	cc.ensureDue(cs.clock.NextEdge(now))
+}

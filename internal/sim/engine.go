@@ -8,9 +8,9 @@
 // Determinism contract: the firing order is the strict total order
 // (at, seq), where seq is the engine-unique scheduling sequence number.
 // It is independent of the queue's internal layout, so any conforming
-// queue implementation (the default value-typed 4-ary heap, or the
-// container/heap reference selected by the sim_refheap build tag)
-// produces byte-identical simulations.
+// queue implementation (the default timing wheel with 4-ary overflow
+// heap, or the container/heap reference selected by the sim_refheap
+// build tag) produces byte-identical simulations.
 package sim
 
 import "fmt"

@@ -48,6 +48,45 @@ func TestEngineNestedScheduling(t *testing.T) {
 	}
 }
 
+// TestEngineEmptyQueueFarThenNearOrder pins the regression where a
+// callback executing with a transiently empty queue (the engine pops
+// the last entry before firing it) schedules a far-future wake first
+// and a near one second. The timing wheel used to re-anchor its window
+// at the far push, admitting it into the wheel; the near push then
+// underflowed into the overflow heap, and its pop dragged the window
+// base back, stranding the far entry outside the window where the
+// circular bucket probe no longer matches time order — the far event
+// fired before nearer ones and the clock ran backwards. This is the
+// exact shape of the next-event controller's deep sleeps (a refresh-due
+// wake several microseconds out followed by a tRFC-scale wake).
+func TestEngineEmptyQueueFarThenNearOrder(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	note := func() { fired = append(fired, e.Now()) }
+	e.Schedule(256, func() {
+		note()
+		// Queue is empty right now. Far wake: ~2000 wheel buckets out.
+		e.Schedule(128000, note)
+		// Near wake: before the far one.
+		e.Schedule(1, func() {
+			note()
+			// Lands in the wheel in a slot that circularly trails the far
+			// entry's slot when the window is mis-anchored.
+			e.Schedule(64000-257, note)
+		})
+	})
+	e.Run()
+	want := []Time{256, 257, 64000, 128256}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
 func TestEngineNegativeDelayPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -142,7 +142,16 @@ type synth struct {
 	stridePos uint64
 	hotBase   uint64 // offset of hot region within footprint
 	hotBytes  uint64
-	count     uint64 // instructions generated (for phase changes)
+
+	// Division-free stepping state. Next runs once per simulated
+	// instruction, so the per-call modulo reductions are precomputed:
+	// every walker position stays < FootprintBytes by conditional
+	// subtraction (steps are pre-reduced mod footprint), and the phase
+	// schedule is a countdown instead of a divisibility test.
+	phaseLeft  uint64 // instructions until the next hot-region shift (0 = no phases)
+	phaseShift uint64 // hot-region shift per phase, pre-reduced mod footprint
+	streamStep uint64 // StreamStep mod footprint
+	strideStep uint64 // StrideBytes mod footprint
 
 	// rowPerm maps virtual row index -> physical row index within the
 	// footprint (the OS page-allocation scatter).
@@ -188,6 +197,15 @@ func NewSynthetic(p Profile, region Region, seed uint64) (Generator, error) {
 	// Start the stream and stride walkers at distinct offsets so the
 	// components do not trivially collide.
 	g.stridePos = p.FootprintBytes / 2
+	g.streamStep = p.StreamStep % p.FootprintBytes
+	g.strideStep = p.StrideBytes % p.FootprintBytes
+	if p.PhaseInstr > 0 {
+		g.phaseShift = uint64(float64(p.FootprintBytes)*p.PhaseShiftFraction) % p.FootprintBytes
+		// The k-th generated instruction shifts the phase when
+		// (k + PhaseOffsetInstr) ≡ 0 (mod PhaseInstr); the first such
+		// k ≥ 1 is PhaseInstr - PhaseOffsetInstr%PhaseInstr.
+		g.phaseLeft = p.PhaseInstr - p.PhaseOffsetInstr%p.PhaseInstr
+	}
 	if !p.NoScatter {
 		// Scatter the footprint's rows over the core's whole region, the
 		// way OS page allocation spreads a program's working set over all
@@ -228,10 +246,15 @@ func (g *synth) Name() string { return g.p.Name }
 
 // Next implements Generator.
 func (g *synth) Next(in *Instr) {
-	g.count++
-	if g.p.PhaseInstr > 0 && (g.count+g.p.PhaseOffsetInstr)%g.p.PhaseInstr == 0 {
-		shift := uint64(float64(g.p.FootprintBytes) * g.p.PhaseShiftFraction)
-		g.hotBase = (g.hotBase + shift) % g.p.FootprintBytes
+	if g.phaseLeft > 0 {
+		g.phaseLeft--
+		if g.phaseLeft == 0 {
+			g.hotBase += g.phaseShift
+			if g.hotBase >= g.p.FootprintBytes {
+				g.hotBase -= g.p.FootprintBytes
+			}
+			g.phaseLeft = g.p.PhaseInstr
+		}
 	}
 	*in = Instr{}
 	if g.rng.Float64() >= g.p.MemFraction {
@@ -247,10 +270,14 @@ func (g *synth) Next(in *Instr) {
 		off = g.rng.Uint64n(g.p.LocalBytes) &^ 7
 	case u < g.cStream:
 		off = g.streamPos
-		g.streamPos = (g.streamPos + g.p.StreamStep) % g.p.FootprintBytes
+		if g.streamPos += g.streamStep; g.streamPos >= g.p.FootprintBytes {
+			g.streamPos -= g.p.FootprintBytes
+		}
 	case u < g.cStride:
 		off = g.stridePos
-		g.stridePos = (g.stridePos + g.p.StrideBytes) % g.p.FootprintBytes
+		if g.stridePos += g.strideStep; g.stridePos >= g.p.FootprintBytes {
+			g.stridePos -= g.p.FootprintBytes
+		}
 	case u < g.cHot:
 		off = g.hotOffset()
 	default:
@@ -259,7 +286,13 @@ func (g *synth) Next(in *Instr) {
 		off = g.rng.Uint64n(g.p.FootprintBytes) &^ 7
 		in.Dependent = !in.Write
 	}
-	in.Addr = g.region.Base + g.scatter(off%g.p.FootprintBytes)
+	// Every component already reduces its offset below the footprint;
+	// only an oversized LocalBytes can exceed it, and then the (cold)
+	// reduction matches the old unconditional modulo.
+	if off >= g.p.FootprintBytes {
+		off %= g.p.FootprintBytes
+	}
+	in.Addr = g.region.Base + g.scatter(off)
 }
 
 // scatter applies the physical row permutation to a footprint offset,
@@ -288,6 +321,11 @@ func (g *synth) hotOffset() uint64 {
 	if rank >= blocks {
 		rank = blocks - 1
 	}
-	off := (g.hotBase + rank<<6) % g.p.FootprintBytes
+	// hotBase < footprint and rank<<6 < hotBytes <= footprint, so one
+	// conditional subtraction replaces the modulo.
+	off := g.hotBase + rank<<6
+	if off >= g.p.FootprintBytes {
+		off -= g.p.FootprintBytes
+	}
 	return off
 }
