@@ -28,8 +28,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"os"
 	"regexp"
@@ -94,13 +96,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		raw, err := os.ReadFile(*comparePath)
+		base, err := readBaseline(*comparePath)
 		if err != nil {
 			log.Fatal(err)
-		}
-		base, err := loadBaseline(raw)
-		if err != nil {
-			log.Fatalf("%s: %v", *comparePath, err)
 		}
 		report, regressions := compare(doc, base, minEPS, maxAllocs)
 		for _, line := range report {
@@ -126,6 +124,27 @@ func main() {
 		return
 	}
 	os.Stdout.Write(enc)
+}
+
+// readBaseline loads the -compare baseline, turning the two ways it can
+// be unusable — file missing/unreadable and content malformed — into
+// actionable messages instead of raw I/O or JSON errors, so a broken CI
+// gate says what to do, not just what failed.
+func readBaseline(path string) (document, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return document{}, fmt.Errorf(
+				"baseline %s does not exist: capture one with 'make bench' (writes BENCH_latest.json) and check it in as the baseline", path)
+		}
+		return document{}, fmt.Errorf("baseline %s unreadable: %w", path, err)
+	}
+	doc, err := loadBaseline(raw)
+	if err != nil {
+		return document{}, fmt.Errorf(
+			"baseline %s malformed: %v (want the {context, benchmarks} or {context, pre, post} JSON shape benchjson emits)", path, err)
+	}
+	return doc, nil
 }
 
 // loadBaseline parses a baseline document. It accepts both the flat

@@ -2,6 +2,8 @@ package main
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,6 +46,55 @@ func TestLoadBaselinePrefersPost(t *testing.T) {
 	}
 	if _, err := loadBaseline([]byte(`{"context": {}}`)); err == nil {
 		t.Fatal("empty baseline accepted")
+	}
+}
+
+func TestReadBaselineMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.json")
+	_, err := readBaseline(path)
+	if err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, path) || !strings.Contains(msg, "does not exist") {
+		t.Fatalf("missing-baseline error does not name the file and condition: %q", msg)
+	}
+	if !strings.Contains(msg, "make bench") {
+		t.Fatalf("missing-baseline error does not say how to regenerate: %q", msg)
+	}
+}
+
+func TestReadBaselineMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not JSON at all":   "]]]",
+		"wrong shape":       `{"context": {}}`, // parses but holds no benchmarks
+		"truncated capture": `{"context": {}, "benchmarks": [{"name":`,
+	}
+	for label, content := range cases {
+		path := filepath.Join(t.TempDir(), "base.json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := readBaseline(path)
+		if err == nil {
+			t.Fatalf("%s: malformed baseline accepted", label)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, path) || !strings.Contains(msg, "malformed") {
+			t.Fatalf("%s: error does not name the file and condition: %q", label, msg)
+		}
+		if !strings.Contains(msg, "benchjson emits") {
+			t.Fatalf("%s: error does not describe the expected shape: %q", label, msg)
+		}
+	}
+	// A good file must still load through the same path.
+	path := filepath.Join(t.TempDir(), "base.json")
+	good := `{"context": {}, "benchmarks": [{"name": "B", "iterations": 1, "metrics": {"ns/op": 5}}]}`
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if doc, err := readBaseline(path); err != nil || len(doc.Benchmarks) != 1 {
+		t.Fatalf("valid baseline rejected: %v, %+v", err, doc)
 	}
 }
 

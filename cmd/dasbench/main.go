@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -200,16 +201,19 @@ func run() error {
 		defer pub.Shutdown(context.Background())
 	}
 
-	// Ctrl-C / SIGTERM interrupts between figures: the loop below stops
-	// starting new work and the sink writers further down still run, so
-	// whatever completed is flushed instead of dropped. A second signal
-	// kills the process via the default handler (stop() reinstalls it).
+	// Ctrl-C / SIGTERM cancels the in-flight figure promptly: the session
+	// context is polled inside every run at the observation stride, so a
+	// signal aborts mid-simulation instead of waiting for the figure to
+	// finish, and the sink writers further down still run, flushing
+	// whatever completed instead of dropping it. A second signal kills
+	// the process via the default handler (stop() reinstalls it).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
 		stop()
 	}()
+	s.Ctx = ctx
 
 	wanted := strings.Split(*figs, ",")
 	if *figs == "all" {
@@ -228,8 +232,12 @@ func run() error {
 			break
 		}
 		name = strings.TrimSpace(strings.ToLower(name))
-		fig, err := s.Measured(func() (*exp.Figure, error) { return dispatch(s, cfg, name) })
+		fig, err := s.Measured(func() (*exp.Figure, error) { return s.Figure(name) })
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Printf("%s: interrupted mid-figure; flushing sinks", name)
+				break
+			}
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprint(out, fig.Render())
@@ -248,21 +256,24 @@ func run() error {
 	}
 	if *explainSel != "" && ctx.Err() == nil {
 		fig, err := s.Measured(func() (*exp.Figure, error) { return s.Explain(explainA, explainB) })
-		if err != nil {
+		if err != nil && errors.Is(err, context.Canceled) {
+			log.Print("explain: interrupted; flushing sinks")
+		} else if err != nil {
 			return fmt.Errorf("explain: %w", err)
-		}
-		fmt.Fprint(out, fig.Render())
-		if *csvDir != "" {
-			if err := writeCSVs(*csvDir, fig); err != nil {
-				return err
+		} else {
+			fmt.Fprint(out, fig.Render())
+			if *csvDir != "" {
+				if err := writeCSVs(*csvDir, fig); err != nil {
+					return err
+				}
 			}
-		}
-		log.Printf("%s: %s", fig.ID, fig.Perf)
-		perfCSV += fmt.Sprintf("%s,%.3f,%d,%.0f,%d,%d\n",
-			fig.ID, fig.Perf.Wall.Seconds(), fig.Perf.Events,
-			fig.Perf.EventsPerSec(), fig.Perf.AllocBytes, fig.Perf.AllocObjects)
-		if pub != nil {
-			s.PublishTo(pub)
+			log.Printf("%s: %s", fig.ID, fig.Perf)
+			perfCSV += fmt.Sprintf("%s,%.3f,%d,%.0f,%d,%d\n",
+				fig.ID, fig.Perf.Wall.Seconds(), fig.Perf.Events,
+				fig.Perf.EventsPerSec(), fig.Perf.AllocBytes, fig.Perf.AllocObjects)
+			if pub != nil {
+				s.PublishTo(pub)
+			}
 		}
 	}
 	if *csvDir != "" {
@@ -355,44 +366,4 @@ func writeCSVs(dir string, fig *exp.Figure) error {
 		}
 	}
 	return nil
-}
-
-// dispatch maps a figure name to its driver.
-func dispatch(s *exp.Session, cfg config.Config, name string) (*exp.Figure, error) {
-	switch name {
-	case "table1":
-		return exp.Table1(cfg), nil
-	case "table2":
-		return exp.Table2(), nil
-	case "area":
-		return exp.AreaFigure(), nil
-	case "7a":
-		return s.Fig7a()
-	case "7b":
-		return s.Fig7b()
-	case "7c":
-		return s.Fig7c()
-	case "7d":
-		return s.Fig7d()
-	case "7e":
-		return s.Fig7e()
-	case "7f":
-		return s.Fig7f()
-	case "8":
-		return s.Fig8()
-	case "9a":
-		return s.Fig9a()
-	case "9b":
-		return s.Fig9b()
-	case "9c":
-		return s.Fig9c()
-	case "9d":
-		return s.Fig9d()
-	case "power":
-		return s.PowerFigure()
-	case "faults":
-		return s.FaultSweep()
-	default:
-		return nil, fmt.Errorf("unknown figure %q", name)
-	}
 }

@@ -1,0 +1,276 @@
+// Command dasload is an open-loop load generator for dasserve. It fires
+// -n POST /run requests at an arrival rate that ramps up over -ramp,
+// cycling through the request bodies given as arguments (so n > #bodies
+// guarantees duplicates that exercise the server's singleflight and
+// cache), retrying shed and transient failures with capped exponential
+// backoff plus jitter, honoring Retry-After.
+//
+// After the burst it can verify cache semantics: -verify re-requests
+// every distinct body twice, asserting the second response is an X-Cache
+// hit and both bodies are byte-identical; -assert-hits N requires the
+// server's cache-hit counter (from /jobs) to have reached N.
+//
+// Examples:
+//
+//	dasload -addr localhost:8077 -n 32 '{"figure":"table2"}'
+//	dasload -addr localhost:8077 -n 24 -rate 50 -verify -assert-hits 1 \
+//	    '{"design":"das","benchmarks":["mcf"]}' @req.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dasload: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "localhost:8077", "dasserve address, or @file to read it from an -addr-file")
+		n          = flag.Int("n", 16, "total requests to send")
+		rate       = flag.Float64("rate", 20, "steady-state arrival rate, requests/second (open loop)")
+		ramp       = flag.Duration("ramp", 2*time.Second, "ramp the arrival rate linearly from 0 to -rate over this long")
+		maxInfl    = flag.Int("max-inflight", 64, "client-side cap on concurrent requests")
+		retries    = flag.Int("retries", 8, "max retries per request on 429/5xx")
+		backoff    = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, full jitter)")
+		backoffCap = flag.Duration("backoff-cap", 5*time.Second, "retry backoff ceiling")
+		reqTO      = flag.Duration("timeout", 15*time.Minute, "per-attempt HTTP timeout")
+		seed       = flag.Int64("seed", 1, "jitter seed")
+		verify     = flag.Bool("verify", false, "after the burst, re-request each distinct body twice and assert cache hits return byte-identical responses")
+		assertHits = flag.Int("assert-hits", -1, "require the server's serve.cache.hits counter to be at least this (-1 = don't check)")
+	)
+	flag.Parse()
+
+	bodies, err := loadBodies(flag.Args())
+	if err != nil {
+		return err
+	}
+	base, err := baseURL(*addr)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *reqTO}
+
+	type outcome struct {
+		ok      bool
+		status  int
+		retries int
+		cache   string
+		err     error
+	}
+	results := make(chan outcome, *n)
+	sem := make(chan struct{}, *maxInfl)
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		// Open-loop arrival: the sender never waits for responses, only
+		// for the (ramped) inter-arrival gap and the in-flight cap.
+		time.Sleep(interArrival(time.Since(start), *rate, *ramp))
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(*seed + int64(i)))
+			body := bodies[i%len(bodies)]
+			st, cache, tries, _, err := post(client, base, body, *retries, *backoff, *backoffCap, rng)
+			results <- outcome{ok: err == nil && st == http.StatusOK, status: st, retries: tries, cache: cache, err: err}
+		}(i)
+	}
+
+	var ok, failed, totalRetries int
+	byCache := map[string]int{}
+	for i := 0; i < *n; i++ {
+		r := <-results
+		totalRetries += r.retries
+		if r.ok {
+			ok++
+			byCache[r.cache]++
+		} else {
+			failed++
+			if r.err != nil {
+				log.Printf("request failed: %v", r.err)
+			} else {
+				log.Printf("request failed: HTTP %d after %d retries", r.status, r.retries)
+			}
+		}
+	}
+	fmt.Printf("dasload: %d ok / %d failed in %v (%d retries; miss=%d coalesced=%d hit=%d)\n",
+		ok, failed, time.Since(start).Round(time.Millisecond),
+		totalRetries, byCache["miss"], byCache["coalesced"], byCache["hit"])
+	if failed > 0 {
+		return fmt.Errorf("%d requests failed", failed)
+	}
+
+	if *verify {
+		if err := verifyCache(client, base, bodies); err != nil {
+			return err
+		}
+		fmt.Printf("dasload: verify ok (%d bodies byte-identical on cache hit)\n", len(bodies))
+	}
+	if *assertHits >= 0 {
+		hits, err := cacheHits(client, base)
+		if err != nil {
+			return err
+		}
+		if hits < float64(*assertHits) {
+			return fmt.Errorf("serve.cache.hits = %.0f, want >= %d", hits, *assertHits)
+		}
+		fmt.Printf("dasload: cache hits %.0f >= %d\n", hits, *assertHits)
+	}
+	return nil
+}
+
+// loadBodies resolves the request bodies from args: literal JSON, or
+// @path to read a file.
+func loadBodies(args []string) ([]string, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("need at least one JSON request body argument (or @file)")
+	}
+	out := make([]string, 0, len(args))
+	for _, a := range args {
+		if strings.HasPrefix(a, "@") {
+			data, err := os.ReadFile(a[1:])
+			if err != nil {
+				return nil, err
+			}
+			a = string(data)
+		}
+		if !json.Valid([]byte(a)) {
+			return nil, fmt.Errorf("request body is not valid JSON: %q", a)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// baseURL turns -addr (possibly @addr-file) into an http base URL.
+func baseURL(addr string) (string, error) {
+	if strings.HasPrefix(addr, "@") {
+		data, err := os.ReadFile(addr[1:])
+		if err != nil {
+			return "", err
+		}
+		addr = strings.TrimSpace(string(data))
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/"), nil
+}
+
+// interArrival is the open-loop gap at elapsed time t: the configured
+// rate scaled by the ramp fraction (linear from 0, with a floor so the
+// very first requests still flow).
+func interArrival(t time.Duration, rate float64, ramp time.Duration) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	frac := 1.0
+	if ramp > 0 && t < ramp {
+		frac = float64(t) / float64(ramp)
+		if frac < 0.1 {
+			frac = 0.1
+		}
+	}
+	return time.Duration(float64(time.Second) / (rate * frac))
+}
+
+// post sends one request, retrying 429 and 5xx with capped exponential
+// backoff and full jitter, honoring Retry-After when the server sends
+// one. It returns the final status, the X-Cache disposition, the retry
+// count and the response body.
+func post(client *http.Client, base, body string, retries int, backoff, ceil time.Duration, rng *rand.Rand) (status int, cache string, tries int, data []byte, err error) {
+	for attempt := 0; ; attempt++ {
+		var resp *http.Response
+		resp, err = client.Post(base+"/run", "application/json", strings.NewReader(body))
+		var retryAfter time.Duration
+		if err == nil {
+			data, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			status = resp.StatusCode
+			cache = resp.Header.Get("X-Cache")
+			if err == nil && status == http.StatusOK {
+				return status, cache, attempt, data, nil
+			}
+			if !retryable(status) || attempt >= retries {
+				return status, cache, attempt, data, err
+			}
+			if ra, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil {
+				retryAfter = time.Duration(ra) * time.Second
+			}
+		} else if attempt >= retries {
+			return 0, "", attempt, nil, err
+		}
+		delay := backoff << attempt
+		if delay > ceil || delay <= 0 {
+			delay = ceil
+		}
+		delay = time.Duration(rng.Int63n(int64(delay) + 1)) // full jitter
+		if delay < retryAfter {
+			delay = retryAfter
+		}
+		time.Sleep(delay)
+	}
+}
+
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// verifyCache re-requests every distinct body twice, back to back, and
+// asserts (a) the second response is served from the cache and (b) the
+// two bodies are byte-identical — the service's exactness contract.
+func verifyCache(client *http.Client, base string, bodies []string) error {
+	seen := map[string]bool{}
+	for _, b := range bodies {
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		rng := rand.New(rand.NewSource(0))
+		_, _, _, first, err := post(client, base, b, 4, 100*time.Millisecond, time.Second, rng)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		_, cache, _, second, err := post(client, base, b, 4, 100*time.Millisecond, time.Second, rng)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		if cache != "hit" {
+			return fmt.Errorf("verify: second request for %q was %q, want cache hit", b, cache)
+		}
+		if string(first) != string(second) {
+			return fmt.Errorf("verify: cached response for %q differs from the first (%d vs %d bytes)", b, len(first), len(second))
+		}
+	}
+	return nil
+}
+
+// cacheHits reads the server's hit counter from /jobs.
+func cacheHits(client *http.Client, base string) (float64, error) {
+	resp, err := client.Get(base + "/jobs")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var jobs struct {
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		return 0, fmt.Errorf("/jobs: %w", err)
+	}
+	return jobs.Metrics["serve.cache.hits"], nil
+}

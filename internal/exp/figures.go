@@ -117,6 +117,95 @@ func (s *Session) improvementFigure(id, title string, cfg config.Config, sets []
 	return &Figure{ID: id, Title: title, Tables: []*stats.Table{tbl}}, nil
 }
 
+// FigureNames lists every name Figure dispatches, in presentation
+// order. "tables" and "all" are the dasbench aliases expanded by the
+// CLI, not dispatchable names, so they are absent here.
+func FigureNames() []string {
+	return []string{"table1", "table2", "area",
+		"7a", "7b", "7c", "7d", "7e", "7f", "8", "9a", "9b", "9c", "9d",
+		"power", "faults"}
+}
+
+// Figure dispatches a figure name to its driver. It is the single entry
+// point shared by the CLI (dasbench -fig) and the serving layer
+// (dasserve requests), so both expose exactly the same catalog.
+func (s *Session) Figure(name string) (*Figure, error) {
+	switch name {
+	case "table1":
+		return Table1(s.Cfg), nil
+	case "table2":
+		return Table2(), nil
+	case "area":
+		return AreaFigure(), nil
+	case "7a":
+		return s.Fig7a()
+	case "7b":
+		return s.Fig7b()
+	case "7c":
+		return s.Fig7c()
+	case "7d":
+		return s.Fig7d()
+	case "7e":
+		return s.Fig7e()
+	case "7f":
+		return s.Fig7f()
+	case "8":
+		return s.Fig8()
+	case "9a":
+		return s.Fig9a()
+	case "9b":
+		return s.Fig9b()
+	case "9c":
+		return s.Fig9c()
+	case "9d":
+		return s.Fig9d()
+	case "power":
+		return s.PowerFigure()
+	case "faults":
+		return s.FaultSweep()
+	default:
+		return nil, fmt.Errorf("unknown figure %q", name)
+	}
+}
+
+// DesignFigure runs one design over one benchmark set (one core per
+// benchmark) and renders it against the Standard baseline: the smallest
+// servable unit of work, and the request shape dasserve caches most
+// often.
+func (s *Session) DesignFigure(design core.Design, benchmarks []string) (*Figure, error) {
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("exp: design run needs at least one benchmark")
+	}
+	base, err := s.Baseline(benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Cached(s.Cfg, design, benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &stats.Table{
+		Title:  fmt.Sprintf("%v over %s", design, wkey(benchmarks)),
+		Header: []string{"core", "benchmark", "IPC", "improvement", "rb", "fast", "slow"},
+	}
+	rb, fast, slow := res.Access.Fractions()
+	for i, c := range res.PerCore {
+		imp := (c.IPC/base.PerCore[i].IPC - 1) * 100
+		loc := []string{"", "", ""}
+		if i == 0 { // access locations are system-wide, print once
+			loc = []string{stats.Percent(rb), stats.Percent(fast), stats.Percent(slow)}
+		}
+		tbl.AddRow(fmt.Sprintf("%d", i), c.Benchmark,
+			fmt.Sprintf("%.3f", c.IPC), fmt.Sprintf("%+.2f%%", imp),
+			loc[0], loc[1], loc[2])
+	}
+	if design != core.Standard {
+		tbl.AddRow("", "mean", "", fmt.Sprintf("%+.2f%%", res.Improvement(base)), "", "", "")
+	}
+	tbl.Caption = "Improvement is per-core IPC versus the Standard baseline of the same benchmarks."
+	return &Figure{ID: "Run", Title: tbl.Title, Tables: []*stats.Table{tbl}}, nil
+}
+
 // Fig7a regenerates Figure 7a: single-programmed performance
 // improvements.
 func (s *Session) Fig7a() (*Figure, error) {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -32,6 +33,15 @@ type Session struct {
 	// WriteTimelineCSV, WriteTrace). Nil (the default) builds fully
 	// uninstrumented systems. Set before the first run.
 	Observe *ObserveOptions
+
+	// Ctx, when non-nil, is polled cooperatively by every run this
+	// session performs (at the run loop's observation stride and between
+	// parallel jobs), so cancelling it stops in-flight work promptly.
+	// Set before the first run; nil means context.Background(). Note
+	// that memoized entries record a cancellation error like any other
+	// failure — a cancelled session is finished, not resumable, which is
+	// exactly the service-core contract (one Session per job).
+	Ctx context.Context
 
 	mu        sync.Mutex
 	baselines map[string]*baselineEntry
@@ -78,6 +88,15 @@ func NewSession(cfg config.Config) *Session {
 		baselines:   make(map[string]*baselineEntry),
 		results:     make(map[string]*resultEntry),
 	}
+}
+
+// context returns the session's cancellation context (Background when
+// none was set).
+func (s *Session) context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 func wkey(benchmarks []string) string { return strings.Join(benchmarks, "+") }
@@ -135,7 +154,7 @@ func (s *Session) Baseline(benchmarks []string) (*Result, error) {
 		}
 		obs := newObserver(resultKey(cfg, core.Standard, benchmarks), cfg.Seed, s.Observe)
 		sys.AttachObserver(obs)
-		e.res, e.err = sys.Run()
+		e.res, e.err = sys.RunContext(s.context())
 		if e.err == nil {
 			s.observers.add(obs)
 		}
@@ -192,7 +211,7 @@ func (s *Session) Run(cfg config.Config, design core.Design, benchmarks []string
 	}
 	obs := newObserver(resultKey(cfg, design, benchmarks), cfg.Seed, s.Observe)
 	sys.AttachObserver(obs)
-	res, err := sys.Run()
+	res, err := sys.RunContext(s.context())
 	if err == nil {
 		s.observers.add(obs)
 	}
@@ -281,6 +300,13 @@ func (s *Session) runAll(jobs []job) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Cancellation check at the job boundary: once the session
+			// context dies, queued jobs fail fast instead of starting
+			// fresh runs (in-flight runs notice via RunContext).
+			if err := s.context().Err(); err != nil {
+				errc <- err
+				return
+			}
 			if err := j(); err != nil {
 				errc <- err
 			}

@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -229,6 +230,16 @@ const observeEvery = 1 << 12
 // assembly mistakes (CheckReady), invariant violations recorded by the
 // manager, deadlock (drained queue), and livelock (watchdog).
 func (s *System) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: ctx is polled at the
+// same host-driven observation stride as the watchdog (every observeEvery
+// engine steps, a few microseconds of wall clock), so cancelling the
+// context stops a run promptly without ever perturbing simulation state —
+// the check happens between events, never inside one. A cancelled run
+// returns context.Cause(ctx) wrapped with the simulated time reached.
+func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	if err := s.Mgr.CheckReady(); err != nil {
 		return nil, err
 	}
@@ -257,6 +268,9 @@ func (s *System) Run() (*Result, error) {
 			continue
 		}
 		s.obs.maybeSnap(int64(s.Eng.Now()))
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("exp: run cancelled at t=%.0f ns: %w", s.Eng.Now().NS(), context.Cause(ctx))
+		}
 		if err := s.Mgr.Err(); err != nil {
 			return nil, fmt.Errorf("exp: manager failed at t=%.0f ns: %w", s.Eng.Now().NS(), err)
 		}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// simRunner returns the production Runner: one fresh exp.Session per
+// job (sessions memoize baselines internally, but the exact-result
+// cache lives above the runner, so sharing sessions across jobs would
+// only add lock contention for no extra hits), with the session's
+// cooperative-cancellation context wired in and the PR 1 no-progress
+// watchdog re-armed against wall-clock time.
+func simRunner(window time.Duration) Runner {
+	return func(ctx context.Context, spec *Job) ([]byte, error) {
+		cctx, cancel := context.WithCancelCause(ctx)
+		defer cancel(nil)
+		sess := exp.NewSession(spec.Cfg)
+		sess.Ctx = cctx
+		if len(spec.Benchmarks) > 0 {
+			sess.Benchmarks = spec.Benchmarks
+		}
+		if len(spec.Mixes) > 0 {
+			sess.Mixes = spec.Mixes
+		}
+		if window > 0 {
+			stop := watchSession(sess, window, cancel)
+			defer close(stop)
+		}
+		var fig *exp.Figure
+		var err error
+		if spec.HasDesign {
+			fig, err = sess.DesignFigure(spec.Design, spec.Benchmarks)
+		} else {
+			fig, err = sess.Figure(spec.Figure)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return []byte(fig.Render()), nil
+	}
+}
+
+// watchSession arms a sim.Watchdog over the session's event counter,
+// driven by wall-clock time: if no engine events execute for a full
+// window while the job runs, the job context is cancelled with a
+// structured "stalled" cause. Progress also counts retired
+// instructions so the profiling prepass of static designs (which
+// retires no engine events) does not trip it; the window must still
+// comfortably exceed that prepass. The returned channel stops the
+// watcher when closed.
+func watchSession(sess *exp.Session, window time.Duration, cancel context.CancelCauseFunc) chan struct{} {
+	stop := make(chan struct{})
+	wd := sim.NewWatchdog(
+		sim.FromNS(float64(window.Nanoseconds())),
+		func() int { return 1 }, // the job is always "outstanding" while it runs
+		func() uint64 { return sess.EventsExecuted() + sess.InstrsRetired() },
+		nil,
+	)
+	start := time.Now()
+	tick := time.NewTicker(window / 4)
+	go func() {
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				now := sim.FromNS(float64(time.Since(start).Nanoseconds()))
+				if err := wd.Observe(now); err != nil {
+					cancel(&Error{Status: http.StatusGatewayTimeout, Kind: KindStalled,
+						Msg: fmt.Sprintf("no simulation progress for %v: %v", window, err)})
+					return
+				}
+			}
+		}
+	}()
+	return stop
+}

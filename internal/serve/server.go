@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/telemetry"
+)
+
+// Runner executes one canonicalized job and returns the response body.
+// The default runner simulates via internal/exp (see simRunner); tests
+// substitute their own to model slow, failing or panicking jobs without
+// paying for real simulations. Runners must honor ctx cancellation
+// promptly — the drain path and the per-job deadline both rely on it.
+type Runner func(ctx context.Context, job *Job) ([]byte, error)
+
+// Options configures a Server. The zero value of every field selects a
+// sensible default (see New).
+type Options struct {
+	// Workers bounds concurrent simulations. Each job may itself
+	// parallelize across designs (Session.Parallelism), so the default
+	// is deliberately small.
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue sheds with
+	// 429 + Retry-After instead of growing memory without bound.
+	QueueDepth int
+	// JobTimeout is the per-job deadline (0 = DefaultJobTimeout; <0 =
+	// none).
+	JobTimeout time.Duration
+	// WatchdogWindow is the no-progress window of the per-job watchdog:
+	// a running job whose session executes no engine events for this
+	// long is cancelled as stalled (0 = DefaultWatchdogWindow; <0 =
+	// off). It must comfortably exceed the profiling prepass of static
+	// designs, which retires no engine events.
+	WatchdogWindow time.Duration
+	// RetryAfter is the advisory client backoff attached to shed
+	// responses (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
+	// Base is the configuration requests layer over (zero Cores selects
+	// config.Scaled(), matching dasbench's default).
+	Base config.Config
+	// Runner overrides the simulation runner (tests only; nil = real
+	// simulations).
+	Runner Runner
+	// Logf, when non-nil, receives one line per admitted job completion
+	// and per shed/panic event.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for the zero Options values.
+const (
+	DefaultWorkers        = 2
+	DefaultQueueDepth     = 16
+	DefaultJobTimeout     = 10 * time.Minute
+	DefaultWatchdogWindow = 30 * time.Second
+	DefaultRetryAfter     = 1 * time.Second
+)
+
+// Server runs simulation jobs on a bounded worker pool with
+// singleflight deduplication and an exact result cache. See the package
+// comment for the exactness argument.
+type Server struct {
+	opt    Options
+	runner Runner
+
+	// Telemetry instruments are created once here; the registry is
+	// single-threaded by design (see internal/telemetry), so every
+	// update and snapshot goes through tmu.
+	tmu        sync.Mutex
+	reg        *telemetry.Registry
+	cAdmitted  *telemetry.Counter // jobs accepted into the queue
+	cDone      *telemetry.Counter // jobs finished successfully
+	cFailed    *telemetry.Counter // jobs finished with any error
+	cShed      *telemetry.Counter // requests rejected 429 (queue full)
+	cCancelled *telemetry.Counter // jobs killed by deadline/watchdog/drain
+	cPanicked  *telemetry.Counter // jobs that panicked (server survived)
+	cHits      *telemetry.Counter // responses served from the cache
+	cCoalesced *telemetry.Counter // requests joined to an in-flight twin
+	cMisses    *telemetry.Counter // requests that started a fresh job
+	gQueued    *telemetry.Gauge   // jobs waiting in the queue
+	gRunning   *telemetry.Gauge   // jobs executing on workers
+	hQueueWait *telemetry.Histogram
+	hRun       *telemetry.Histogram
+
+	// mu guards admission state: the cache map, the queue send, and the
+	// draining flag. Holding it across the queue send is what makes
+	// "check draining, then enqueue" atomic with Shutdown's "set
+	// draining, then close the queue".
+	mu       sync.Mutex
+	draining bool
+	cache    map[string]*entry
+	queue    chan *job
+
+	// jobCtx parents every job context; jobCancel fires at the drain
+	// deadline with a structured cause.
+	jobCtx    context.Context
+	jobCancel context.CancelCauseFunc
+	wg        sync.WaitGroup
+}
+
+// entry is one cache slot doubling as the singleflight rendezvous:
+// waiters block on done; body/err are immutable once done is closed.
+// Failed entries are removed from the cache map in the same critical
+// section that closes done, so a mapped entry with closed done is
+// always a success — errors are never cached and always re-runnable.
+type entry struct {
+	done chan struct{}
+	body []byte
+	err  *Error
+	hash uint64
+}
+
+type job struct {
+	spec     *Job
+	e        *entry
+	enqueued time.Time
+}
+
+// New builds a server and starts its worker pool. Callers must
+// eventually call Shutdown.
+func New(opt Options) *Server {
+	if opt.Workers <= 0 {
+		opt.Workers = DefaultWorkers
+	}
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = DefaultQueueDepth
+	}
+	if opt.JobTimeout == 0 {
+		opt.JobTimeout = DefaultJobTimeout
+	}
+	if opt.WatchdogWindow == 0 {
+		opt.WatchdogWindow = DefaultWatchdogWindow
+	}
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = DefaultRetryAfter
+	}
+	if opt.Base.Cores == 0 {
+		opt.Base = config.Scaled()
+	}
+	s := &Server{
+		opt:    opt,
+		runner: opt.Runner,
+		reg:    telemetry.New(),
+		cache:  make(map[string]*entry),
+		queue:  make(chan *job, opt.QueueDepth),
+	}
+	if s.runner == nil {
+		s.runner = simRunner(opt.WatchdogWindow)
+	}
+	s.cAdmitted = s.reg.Counter("serve.jobs.admitted")
+	s.cDone = s.reg.Counter("serve.jobs.done")
+	s.cFailed = s.reg.Counter("serve.jobs.failed")
+	s.cShed = s.reg.Counter("serve.jobs.shed")
+	s.cCancelled = s.reg.Counter("serve.jobs.cancelled")
+	s.cPanicked = s.reg.Counter("serve.jobs.panicked")
+	s.cHits = s.reg.Counter("serve.cache.hits")
+	s.cCoalesced = s.reg.Counter("serve.cache.coalesced")
+	s.cMisses = s.reg.Counter("serve.cache.misses")
+	s.gQueued = s.reg.Gauge("serve.jobs.queued")
+	s.gRunning = s.reg.Gauge("serve.jobs.running")
+	s.hQueueWait = s.reg.Histogram("serve.queue.wait_us")
+	s.hRun = s.reg.Histogram("serve.job.run_us")
+	s.jobCtx, s.jobCancel = context.WithCancelCause(context.Background())
+	for i := 0; i < opt.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// submit is the admission decision for a canonicalized job: cache hit,
+// coalesce onto an in-flight twin, enqueue a fresh run, or shed. The
+// returned disposition is one of "hit", "coalesced", "miss".
+func (s *Server) submit(spec *Job) (*entry, string, *Error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, "", &Error{Status: http.StatusServiceUnavailable, Kind: KindDraining,
+			Msg: "server is draining, not admitting new work"}
+	}
+	if e, ok := s.cache[spec.Key]; ok {
+		s.mu.Unlock()
+		select {
+		case <-e.done:
+			s.count(s.cHits)
+			return e, "hit", nil
+		default:
+			s.count(s.cCoalesced)
+			return e, "coalesced", nil
+		}
+	}
+	e := &entry{done: make(chan struct{}), hash: spec.Hash}
+	jb := &job{spec: spec, e: e, enqueued: time.Now()}
+	select {
+	case s.queue <- jb:
+		s.cache[spec.Key] = e
+		s.mu.Unlock()
+		s.tmu.Lock()
+		s.cMisses.Inc()
+		s.cAdmitted.Inc()
+		s.gQueued.Add(1)
+		s.tmu.Unlock()
+		return e, "miss", nil
+	default:
+		s.mu.Unlock()
+		s.count(s.cShed)
+		s.logf("shed %016x (queue full)", spec.Hash)
+		retry := int((s.opt.RetryAfter + time.Second - 1) / time.Second)
+		return nil, "", &Error{Status: http.StatusTooManyRequests, Kind: KindShed,
+			Msg:           fmt.Sprintf("admission queue full (%d jobs); retry later", s.opt.QueueDepth),
+			RetryAfterSec: retry}
+	}
+}
+
+// count bumps one counter under the telemetry lock.
+func (s *Server) count(c *telemetry.Counter) {
+	s.tmu.Lock()
+	c.Inc()
+	s.tmu.Unlock()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.execute(jb)
+	}
+}
+
+// execute runs one dequeued job with deadline, panic isolation and
+// structured failure mapping, then resolves its entry.
+func (s *Server) execute(jb *job) {
+	wait := time.Since(jb.enqueued)
+	s.tmu.Lock()
+	s.gQueued.Add(-1)
+	s.gRunning.Add(1)
+	s.hQueueWait.Observe(uint64(wait.Microseconds()))
+	s.tmu.Unlock()
+
+	ctx := s.jobCtx
+	var cancel context.CancelFunc
+	if s.opt.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeoutCause(ctx, s.opt.JobTimeout,
+			&Error{Status: http.StatusGatewayTimeout, Kind: KindTimeout,
+				Msg: fmt.Sprintf("job exceeded the %v deadline", s.opt.JobTimeout)})
+	}
+	start := time.Now()
+	body, err := s.runIsolated(ctx, jb.spec)
+	if cancel != nil {
+		cancel()
+	}
+	elapsed := time.Since(start)
+
+	var se *Error
+	if err != nil {
+		se = asError(err)
+	}
+	s.mu.Lock()
+	jb.e.body, jb.e.err = body, se
+	if se != nil {
+		// Never cache failures: the next identical request retries.
+		delete(s.cache, jb.spec.Key)
+	}
+	close(jb.e.done)
+	s.mu.Unlock()
+
+	s.tmu.Lock()
+	s.gRunning.Add(-1)
+	s.hRun.Observe(uint64(elapsed.Microseconds()))
+	if se == nil {
+		s.cDone.Inc()
+	} else {
+		s.cFailed.Inc()
+		switch se.Kind {
+		case KindPanic:
+			s.cPanicked.Inc()
+		case KindTimeout, KindStalled, KindDraining:
+			s.cCancelled.Inc()
+		}
+	}
+	s.tmu.Unlock()
+	if se != nil {
+		s.logf("job %016x failed after %v (queued %v): %s", jb.spec.Hash, elapsed.Round(time.Millisecond), wait.Round(time.Millisecond), se.Error())
+	} else {
+		s.logf("job %016x done in %v (queued %v, %d bytes)", jb.spec.Hash, elapsed.Round(time.Millisecond), wait.Round(time.Millisecond), len(jb.e.body))
+	}
+}
+
+// runIsolated invokes the runner behind a recover barrier: a panicking
+// job becomes a structured 500 for its waiters and the worker — and
+// every sibling job — survives.
+func (s *Server) runIsolated(ctx context.Context, spec *Job) (body []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &Error{Status: http.StatusInternalServerError, Kind: KindPanic,
+				Msg: fmt.Sprintf("job panicked: %v\n%s", r, debug.Stack())}
+		}
+	}()
+	return s.runner(ctx, spec)
+}
+
+// Shutdown drains the server: admission stops immediately (readyz flips
+// to 503, new submissions get draining errors), queued and running jobs
+// are given until ctx expires to finish, then are cancelled
+// cooperatively and awaited. It returns nil on a clean drain and
+// ctx.Err() when the deadline forced cancellation. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue) // workers exit once the queue is drained
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.jobCancel(&Error{Status: http.StatusServiceUnavailable, Kind: KindDraining,
+			Msg: "job cancelled at the drain deadline"})
+		<-done // cancellation is cooperative and prompt (observation-stride polls)
+		return ctx.Err()
+	}
+}
+
+// Handler returns the service mux: POST /run, GET /healthz, /readyz,
+// /jobs.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n") // the process is alive; readiness is /readyz
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			writeError(w, &Error{Status: http.StatusServiceUnavailable, Kind: KindDraining, Msg: "draining"})
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "dasserve\n  POST /run    {figure|design, benchmarks, mixes, config}\n  GET  /healthz\n  GET  /readyz\n  GET  /jobs\n")
+	})
+	return mux
+}
+
+// maxRequestBytes bounds request bodies; configs are a few KB.
+const maxRequestBytes = 1 << 20
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Kind: KindBadRequest, Msg: "POST a JSON request to /run"})
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, &Error{Status: http.StatusBadRequest, Kind: KindBadRequest, Msg: err.Error()})
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, &Error{Status: http.StatusBadRequest, Kind: KindBadRequest, Msg: fmt.Sprintf("request: %v", err)})
+		return
+	}
+	spec, err := Canonicalize(req, s.opt.Base)
+	if err != nil {
+		writeError(w, &Error{Status: http.StatusBadRequest, Kind: KindBadRequest, Msg: err.Error()})
+		return
+	}
+	e, disp, serr := s.submit(spec)
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	select {
+	case <-e.done:
+	case <-r.Context().Done():
+		// The client gave up; the job keeps running for its other
+		// waiters and the cache (results are deterministic — the work is
+		// never wasted).
+		return
+	}
+	if e.err != nil {
+		writeError(w, e.err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Cache", disp)
+	w.Header().Set("X-Key", fmt.Sprintf("%016x", e.hash))
+	w.Header().Set("ETag", fmt.Sprintf("%q", fmt.Sprintf("%016x", e.hash)))
+	w.Write(e.body)
+}
+
+// Snapshot returns the server's telemetry snapshot (race-safe).
+func (s *Server) Snapshot() []telemetry.Metric {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	return s.reg.Snapshot(nil)
+}
+
+// jobsJSON is the /jobs response shape.
+type jobsJSON struct {
+	Draining bool `json:"draining"`
+	Workers  int  `json:"workers"`
+	QueueCap int  `json:"queue_cap"`
+	// CacheHitRatio is (hits + coalesced) / (hits + coalesced + misses):
+	// the fraction of admitted /run requests that did not start a fresh
+	// simulation. Zero until the first request.
+	CacheHitRatio float64            `json:"cache_hit_ratio"`
+	Metrics       map[string]float64 `json:"metrics"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Snapshot()
+	out := jobsJSON{
+		Draining: s.Draining(),
+		Workers:  s.opt.Workers,
+		QueueCap: s.opt.QueueDepth,
+		Metrics:  make(map[string]float64, len(snap)),
+	}
+	for _, m := range snap {
+		out.Metrics[m.Name] = m.Value
+	}
+	hits := out.Metrics["serve.cache.hits"] + out.Metrics["serve.cache.coalesced"]
+	if total := hits + out.Metrics["serve.cache.misses"]; total > 0 {
+		out.CacheHitRatio = hits / total
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		writeError(w, &Error{Status: http.StatusInternalServerError, Kind: KindInternal, Msg: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}

@@ -15,8 +15,9 @@ go build ./...
 
 echo "== go test -race"
 # Full suite under the race detector; this is also the concurrency gate
-# for the telemetry publisher (concurrent Publish/snapshot/Shutdown) and
-# the exp observer attach/flush paths.
+# for the telemetry publisher (concurrent Publish/snapshot/Shutdown),
+# the exp observer attach/flush paths, and the dasserve core
+# (internal/serve: singleflight, shedding, drain, panic isolation).
 go test -race ./...
 
 echo "== engine cross-check: container/heap reference queue (-tags sim_refheap)"
@@ -94,5 +95,26 @@ echo "== fault-sweep smoke (dasbench -fig faults)"
 # rate-1.0 full-degradation endpoints — with invariants and the watchdog
 # armed, in well under a minute.
 go run ./cmd/dasbench -fig faults -benchmarks mcf -instr 200000 >/dev/null
+
+echo "== server smoke (dasserve + dasload: dedup, cache exactness, drain)"
+# Start dasserve on an ephemeral port, fire a duplicate-heavy dasload
+# burst, then assert the robustness contract end to end: at least one
+# request was served from the exact-result cache (-assert-hits against
+# /jobs), repeated requests return byte-identical bodies (-verify), and
+# SIGTERM drains cleanly (dasserve exits 0).
+go build -o "$tmp_sink.serve" ./cmd/dasserve
+go build -o "$tmp_sink.load" ./cmd/dasload
+rm -f "$tmp_sink.addr"
+"$tmp_sink.serve" -addr 127.0.0.1:0 -addr-file "$tmp_sink.addr" \
+    -instr 200000 -workers 2 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 100); do test -s "$tmp_sink.addr" && break; sleep 0.1; done
+test -s "$tmp_sink.addr"
+"$tmp_sink.load" -addr @"$tmp_sink.addr" -n 12 -rate 50 -ramp 0 \
+    -verify -assert-hits 1 \
+    '{"design":"das","benchmarks":["mcf"]}' '{"figure":"table2"}'
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+rm -f "$tmp_sink.serve" "$tmp_sink.load" "$tmp_sink.addr" "$tmp_sink.cfg"
 
 echo "check.sh: all gates passed"
