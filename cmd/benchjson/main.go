@@ -259,6 +259,15 @@ func compare(cur, base document, minThroughputRatio, maxAllocRatio float64) (rep
 					b.Name, eps, refEPS, 100*eps/refEPS))
 			}
 		}
+		// parallel_speedup (sharded-engine wall ratio) is informational
+		// like events/s: it measures host core availability, not the
+		// simulator, and single-CPU machines legitimately report <= 1.
+		if refSU, ok := ref.Metrics["parallel_speedup"]; ok && refSU > 0 {
+			if su, ok := b.Metrics["parallel_speedup"]; ok {
+				report = append(report, fmt.Sprintf("%s: parallel_speedup %.2f vs baseline %.2f informational",
+					b.Name, su, refSU))
+			}
+		}
 	}
 	if matched == 0 {
 		regressions++

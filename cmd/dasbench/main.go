@@ -57,6 +57,7 @@ func run() error {
 		csvDir   = flag.String("csv-dir", "", "also write each figure's tables as CSV files (plus perf.csv) into this directory")
 		benchSel = flag.String("benchmarks", "", "comma-separated benchmark subset for single-programmed figures")
 		mixSel   = flag.String("mixes", "", "comma-separated mix subset (M1..M8) for multi-programmed figures")
+		parallel = flag.Int("parallel", 0, "shard each simulated machine across OS threads (0/1 = sequential, >=2 = processor/memory shards; output is byte-identical)")
 
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile (pprof) covering all selected figures to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (pprof) taken after all figures to this file")
@@ -112,6 +113,7 @@ func run() error {
 		cfg.FaultSeed = *faultSeed
 	}
 	cfg.CheckInvariants = *invariants
+	cfg.Parallel = *parallel
 	if err := cfg.Validate(); err != nil {
 		return err
 	}

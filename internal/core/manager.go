@@ -104,7 +104,47 @@ type Manager struct {
 	// the default; see AttachTelemetry).
 	tel *coreTelemetry
 
+	// shard, when non-nil, is the processor-side shard of a parallel
+	// run: calls into the controller (enqueues, migrations, resets)
+	// cross to the memory side through it (see SetShard).
+	shard *sim.Shard
+
 	Stats Stats
+}
+
+// SetShard marks the manager as running on the processor-side shard of
+// a parallel simulation. Controller calls are posted through s as
+// synchronous cross-shard messages ordered at the calling event's
+// position, which is exactly where the sequential engine ran them.
+func (m *Manager) SetShard(s *sim.Shard) { m.shard = s }
+
+// postEnqueue is the trampoline for crossing Controller.Enqueue.
+func postEnqueue(a, b any) { a.(*mc.Controller).Enqueue(b.(*mc.Request)) }
+
+// migPost carries one Controller.Migrate call across shards. Migrations
+// are rare (thousands per run, not millions), so the allocation is
+// irrelevant.
+type migPost struct {
+	ctl                      *mc.Controller
+	channel, rank, bank, row int
+	done                     func()
+}
+
+func postMigrate(a, _ any) {
+	p := a.(*migPost)
+	p.ctl.Migrate(p.channel, p.rank, p.bank, p.row, p.done)
+}
+
+// migrate routes a promotion swap to the controller, crossing shards in
+// a parallel run.
+func (m *Manager) migrate(channel, rank, bank, row int, done func()) {
+	if m.shard != nil {
+		m.shard.PostSync(postMigrate, &migPost{
+			ctl: m.ctl, channel: channel, rank: rank, bank: bank, row: row, done: done,
+		}, nil)
+		return
+	}
+	m.ctl.Migrate(channel, rank, bank, row, done)
 }
 
 // NewManager builds a manager for design cfg.Design in front of ctl.
@@ -482,6 +522,20 @@ func (m *Manager) enqueue(req *mem.Request, coord dram.Coord, cls dram.RowClass,
 			m.considerPromotion(rowID, core)
 		}
 	}
+	if m.shard != nil {
+		// Posted-write acks re-enter the cache hierarchy, which lives on
+		// this shard: fire the ack here (the controller acks writes
+		// synchronously inside Enqueue with ServiceRowBuffer, at this
+		// same global-order position) and hand the controller a Done-less
+		// request.
+		if dreq.Write && dreq.Done != nil {
+			ack := dreq.Done
+			dreq.Done = nil
+			ack(mc.ServiceRowBuffer)
+		}
+		m.shard.PostSync(postEnqueue, m.ctl, dreq)
+		return
+	}
 	// Posted writes complete at enqueue inside the controller.
 	m.ctl.Enqueue(dreq)
 }
@@ -534,7 +588,7 @@ func (m *Manager) considerPromotion(rowID uint64, coreID int) {
 					// uniform: retry on a fresh event.
 					m.eng.Schedule(0, commit)
 				} else {
-					m.ctl.Migrate(coord.Channel, coord.Rank, coord.Bank, coord.Row, commit)
+					m.migrate(coord.Channel, coord.Rank, coord.Bank, coord.Row, commit)
 				}
 				return
 			}
@@ -581,7 +635,7 @@ func (m *Manager) considerPromotion(rowID uint64, coreID int) {
 		commit()
 		return
 	}
-	m.ctl.Migrate(coord.Channel, coord.Rank, coord.Bank, coord.Row, commit)
+	m.migrate(coord.Channel, coord.Rank, coord.Bank, coord.Row, commit)
 }
 
 // writeTableEntries posts updates of the two swapped rows' table entries

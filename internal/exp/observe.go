@@ -48,6 +48,19 @@ type Observer struct {
 	Timeline *telemetry.Timeline
 	Req      *reqtrace.Recorder
 
+	// RegMC and TraceMC are the memory-side shard's private instruments,
+	// non-nil only when the system runs on the parallel engine: the down
+	// shard fires events on its own OS thread, so the controller and
+	// device must never share mutable instruments with the processor
+	// side. Metric names are disjoint across the two registries and every
+	// snapshot merges them sorted by name (telemetry.SnapshotAll), so
+	// timeline and published output stay byte-identical to a sequential
+	// run. Trace events have no such order-free merge — equal-timestamp
+	// interleaving is an append-order artifact — so TraceMC exports as
+	// its own Perfetto process, labeled "<run>/mc".
+	RegMC   *telemetry.Registry
+	TraceMC *telemetry.TraceRecorder
+
 	nextSnapPS int64
 }
 
@@ -84,7 +97,7 @@ func (o *Observer) maybeSnap(nowPS int64) {
 	if o == nil || o.Timeline == nil || nowPS < o.nextSnapPS {
 		return
 	}
-	o.Timeline.Snap(nowPS, o.Reg)
+	o.Timeline.Snap(nowPS, o.Reg, o.RegMC)
 	interval := o.Timeline.IntervalPS
 	o.nextSnapPS = (nowPS/interval + 1) * interval
 }
@@ -94,7 +107,7 @@ func (o *Observer) finish(nowPS int64) {
 	if o == nil || o.Timeline == nil {
 		return
 	}
-	o.Timeline.Snap(nowPS, o.Reg)
+	o.Timeline.Snap(nowPS, o.Reg, o.RegMC)
 }
 
 // AttachObserver instruments every component of the system with obs
@@ -105,8 +118,23 @@ func (s *System) AttachObserver(obs *Observer) {
 	}
 	s.obs = obs
 	reg := obs.Reg
-	s.Dev.AttachTelemetry(reg)
-	s.Ctl.AttachTelemetry(reg, obs.Trace)
+	// On the parallel engine the controller and device fire on the down
+	// shard's OS thread: give them a private registry and trace recorder
+	// so no instrument is mutated from two goroutines. Snapshots only
+	// happen at full barriers (System.observe) or after the run, where
+	// the channel handoff orders the down shard's writes before the read.
+	regMC, traceMC := reg, obs.Trace
+	if s.Par != nil {
+		if obs.Reg != nil {
+			obs.RegMC = telemetry.New()
+		}
+		if obs.Trace != nil {
+			obs.TraceMC = telemetry.NewTraceRecorder(obs.Label + "/mc")
+		}
+		regMC, traceMC = obs.RegMC, obs.TraceMC
+	}
+	s.Dev.AttachTelemetry(regMC)
+	s.Ctl.AttachTelemetry(regMC, traceMC)
 	s.Mgr.AttachTelemetry(reg, obs.Trace)
 	if inj := s.Mgr.Faults(); inj != nil {
 		inj.AttachTelemetry(reg)
@@ -119,7 +147,11 @@ func (s *System) AttachObserver(obs *Observer) {
 		c.AttachTelemetry(reg)
 	}
 	if reg.Enabled() {
-		reg.Sample("sim.events_executed", func() int64 { return int64(s.Eng.Executed()) })
+		if par := s.Par; par != nil {
+			reg.Sample("sim.events_executed", func() int64 { return int64(par.Executed()) })
+		} else {
+			reg.Sample("sim.events_executed", func() int64 { return int64(s.Eng.Executed()) })
+		}
 	}
 	if obs.Req != nil {
 		if obs.Trace != nil {
@@ -192,6 +224,9 @@ func (s *Session) WriteTrace(w io.Writer) error {
 		if o.Trace != nil {
 			recs = append(recs, o.Trace)
 		}
+		if o.TraceMC != nil {
+			recs = append(recs, o.TraceMC)
+		}
 	}
 	return telemetry.EncodeTrace(w, recs)
 }
@@ -224,7 +259,7 @@ func (s *Session) WriteReqTraceJSON(w io.Writer) error {
 func (s *Session) PublishTo(p *telemetry.Publisher) {
 	for _, o := range s.Observers() {
 		if o.Reg != nil {
-			p.Publish(o.Label, o.Reg.Snapshot(nil))
+			p.Publish(o.Label, telemetry.SnapshotAll(nil, o.Reg, o.RegMC))
 		}
 	}
 }

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The parallel equivalence suite: the sharded engine (config.Parallel
+// >= 2) must be indistinguishable from the sequential one at the
+// strongest observable — the exact DRAM command stream — and at the
+// user-facing one — rendered figure bytes. scripts/check.sh runs this
+// under the default scheduler, mc_polltick and sim_refheap, so every
+// (queue, scheduler, engine) combination is pinned to the same stream.
+
+// TestParallelEquivalence asserts the FNV-1a command-stream digest of
+// every stream case (all six designs, closed-page, a multicore mix) is
+// byte-identical between the sequential engine and 2- and 4-shard
+// parallel runs.
+func TestParallelEquivalence(t *testing.T) {
+	for _, sc := range streamCases() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			seqN, seqSum := streamDigest(t, sc, 0)
+			for _, p := range []int{2, 4} {
+				n, sum := streamDigest(t, sc, p)
+				if n != seqN || sum != seqSum {
+					t.Errorf("parallel=%d diverged: commands=%d fnv64a=%016x, sequential commands=%d fnv64a=%016x",
+						p, n, sum, seqN, seqSum)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFigureBytes renders Figure 7a with the sequential and the
+// parallel engine from separate sessions and asserts identical bytes.
+func TestParallelFigureBytes(t *testing.T) {
+	render := func(parallel int) string {
+		cfg := tinyConfig()
+		cfg.Parallel = parallel
+		s := NewSession(cfg)
+		fig, err := s.Figure("7a")
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return fig.Render()
+	}
+	seq := render(0)
+	for _, p := range []int{2, 4} {
+		if par := render(p); par != seq {
+			t.Errorf("figure 7a bytes differ between sequential and parallel=%d:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				p, seq, par)
+		}
+	}
+}
+
+// TestParallelTelemetryBytes runs an observed figure both ways and
+// asserts the merged metrics timeline is byte-identical: the down
+// shard's private registry (Observer.RegMC) must merge into the same
+// sorted snapshot the sequential single-registry run produces.
+func TestParallelTelemetryBytes(t *testing.T) {
+	render := func(parallel int) string {
+		cfg := tinyConfig()
+		cfg.Parallel = parallel
+		s := NewSession(cfg)
+		s.Observe = &ObserveOptions{Metrics: true}
+		if _, err := s.Figure("7a"); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		var b strings.Builder
+		if err := s.WriteTimelineCSV(&b); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return b.String()
+	}
+	seq := render(0)
+	if par := render(2); par != seq {
+		t.Errorf("timeline CSV differs between sequential and parallel runs (%d vs %d bytes)", len(seq), len(par))
+	}
+}
+
+// TestParallelResultEquivalence runs one multicore DAS case both ways
+// and checks the collected Result matches field-for-field — including
+// the executed event count, which the parallel engine sums across
+// shards.
+func TestParallelResultEquivalence(t *testing.T) {
+	run := func(parallel int) *Result {
+		cfg := tinyConfig()
+		cfg.Cores = 2
+		cfg.Parallel = parallel
+		sys, _, err := Build(cfg, core.DAS, []string{"mcf", "soplex"}, nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	seq := run(0)
+	par := run(2)
+	if got, want := fmt.Sprintf("%+v", par), fmt.Sprintf("%+v", seq); got != want {
+		t.Errorf("results diverged:\nsequential: %s\nparallel:   %s", want, got)
+	}
+}

@@ -47,13 +47,16 @@ func streamCases() []streamCase {
 
 // streamDigest runs one case with a command log attached and returns the
 // command count and the FNV-1a digest over the raw tuple stream.
-func streamDigest(t *testing.T, sc streamCase) (uint64, uint64) {
+// parallel selects the execution engine (0 = sequential); the digest
+// must not depend on it (TestParallelEquivalence).
+func streamDigest(t *testing.T, sc streamCase, parallel int) (uint64, uint64) {
 	t.Helper()
 	cfg := tinyConfig()
 	cfg.InstrPerCore = 60_000
 	cfg.Cores = len(sc.benchmarks)
 	cfg.Seed = sc.seed
 	cfg.ClosedPage = sc.closedPage
+	cfg.Parallel = parallel
 
 	var static *core.StaticAssignment
 	if sc.design.Static() {
@@ -93,7 +96,7 @@ func streamDigest(t *testing.T, sc streamCase) (uint64, uint64) {
 func TestGoldenCommandStreams(t *testing.T) {
 	var b strings.Builder
 	for _, sc := range streamCases() {
-		n, sum := streamDigest(t, sc)
+		n, sum := streamDigest(t, sc, 0)
 		fmt.Fprintf(&b, "%-18s commands=%-7d fnv64a=%016x\n", sc.name, n, sum)
 	}
 	goldenCompare(t, "golden_streams.txt", b.String())

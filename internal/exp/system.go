@@ -24,6 +24,12 @@ type System struct {
 	Cfg    config.Config
 	Design core.Design
 	Eng    *sim.Engine
+	// EngMC and Par are set on parallel runs (Cfg.Parallel >= 2): the
+	// controller and device live on EngMC (the memory-side shard) and
+	// Par couples the two engines; Eng then holds only the processor
+	// side. Both are nil on sequential runs.
+	EngMC  *sim.Engine
+	Par    *sim.ParEngine
 	Cores  []*cpu.Core
 	L1s    []*cache.Cache
 	L2s    []*cache.Cache
@@ -62,14 +68,27 @@ func Build(cfg config.Config, design core.Design, benchmarks []string, static *c
 	if err != nil {
 		return nil, nil, err
 	}
+	// On a parallel run the memory side (controller + device timing)
+	// gets its own engine; everything the processor side schedules stays
+	// on eng. Values above 2 behave identically: the decomposition has
+	// exactly two domains (see sim/par_engine.go).
+	engMC := eng
+	var par *sim.ParEngine
+	if cfg.Parallel >= 2 {
+		engMC = sim.NewEngine()
+	}
 	mcCfg := mc.Config{
 		WindowSize: cfg.WindowSize, WriteHigh: cfg.WriteHigh, WriteLow: cfg.WriteLow,
 		StarvationLimit: sim.FromNS(cfg.StarvationLimitNS),
 		ClosedPage:      cfg.ClosedPage,
 	}
-	ctl, err := mc.New(mcCfg, eng, dev, cfg.Cores)
+	ctl, err := mc.New(mcCfg, engMC, dev, cfg.Cores)
 	if err != nil {
 		return nil, nil, err
+	}
+	if cfg.Parallel >= 2 {
+		par = sim.NewParEngine(eng, engMC, dev.MinCrossDomainLatency()/2)
+		ctl.SetShard(par.Shard(1))
 	}
 	mgrCfg, err := cfg.ManagerConfig(design)
 	if err != nil {
@@ -78,6 +97,9 @@ func Build(cfg config.Config, design core.Design, benchmarks []string, static *c
 	mgr, err := core.NewManager(mgrCfg, eng, ctl, cfg.Cores)
 	if err != nil {
 		return nil, nil, err
+	}
+	if par != nil {
+		mgr.SetShard(par.Shard(0))
 	}
 	if static != nil {
 		mgr.SetStaticAssignment(static)
@@ -109,11 +131,15 @@ func Build(cfg config.Config, design core.Design, benchmarks []string, static *c
 	sys := &System{
 		Cfg: cfg, Design: design, Eng: eng,
 		LLC: llc, Mgr: mgr, Ctl: ctl, Dev: dev,
+		Par: par,
 		names:     benchmarks,
 		remaining: cfg.Cores,
 		warmupsTo: cfg.Cores,
 		missSnap:  make([][2]uint64, cfg.Cores),
 		promSnap:  make([][2]uint64, cfg.Cores),
+	}
+	if par != nil {
+		sys.EngMC = engMC
 	}
 	coreCfg := cpu.Config{
 		ClockHz: cfg.CPUGHz * 1e9, Width: cfg.Width,
@@ -166,8 +192,15 @@ func (s *System) onWarmup(id int) {
 		}
 		s.LLC.ResetStats()
 		copy(s.LLC.Stats.PerCoreMisses, base) // keep per-core continuity
-		s.Ctl.ResetStats()
-		s.Dev.ResetStats()
+		if s.Par != nil {
+			// The controller and device live on the memory-side shard;
+			// cross the reset like any other controller call so it lands
+			// at this exact position in the global event order.
+			s.Par.Shard(0).PostSync(postResetMC, s.Ctl, s.Dev)
+		} else {
+			s.Ctl.ResetStats()
+			s.Dev.ResetStats()
+		}
 		promBase := make([]uint64, len(s.Cores))
 		for i := range promBase {
 			promBase[i] = perCorePromotion(s.Mgr, i)
@@ -175,6 +208,13 @@ func (s *System) onWarmup(id int) {
 		s.Mgr.ResetStats()
 		copy(s.Mgr.Stats.PerCorePromotions, promBase)
 	}
+}
+
+// postResetMC is the trampoline crossing the warm-up statistics reset
+// to the memory-side shard.
+func postResetMC(a, b any) {
+	a.(*mc.Controller).ResetStats()
+	b.(*dram.Device).ResetStats()
 }
 
 func perCorePromotion(m *core.Manager, id int) uint64 {
@@ -225,6 +265,13 @@ func (s *System) watchdog() *sim.Watchdog {
 // so this keeps the overhead unmeasurable).
 const observeEvery = 1 << 12
 
+// parCheckEvery is how many epochs pass between full-barrier
+// observations of a parallel run. Each barrier drains the two-epoch
+// pipeline, so it trades observation latency against parallelism; at 64
+// epochs (~0.5 µs simulated) observation wall-clock granularity is
+// comparable to the sequential stride.
+const parCheckEvery = 64
+
 // Run executes the measurement protocol and collects results. It fails
 // fast — with a structured error rather than corrupted results — on
 // assembly mistakes (CheckReady), invariant violations recorded by the
@@ -243,9 +290,12 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	if err := s.Mgr.CheckReady(); err != nil {
 		return nil, err
 	}
-	// Recycle the event queue's backing array into the next run's engine
-	// (sessions build one short-lived engine per run).
+	// Recycle the event queue's backing arrays into the next run's
+	// engines (sessions build short-lived engines per run).
 	defer s.Eng.Release()
+	if s.EngMC != nil {
+		defer s.EngMC.Release()
+	}
 	warmup := uint64(float64(s.Cfg.InstrPerCore) * s.Cfg.WarmupFrac)
 	for _, c := range s.Cores {
 		if err := c.Start(warmup, s.Cfg.InstrPerCore, s.onWarmup, s.onQuota); err != nil {
@@ -257,29 +307,30 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	// long before this.
 	limit := sim.Time(s.Cfg.InstrPerCore) * 50 * sim.Nanosecond
 	wd := s.watchdog()
-	steps := 0
-	for s.remaining > 0 {
-		if !s.Eng.Step() {
-			return nil, fmt.Errorf("exp: event queue drained with %d cores unfinished (deadlock)\n%s",
-				s.remaining, s.Ctl.Describe()+s.Mgr.DescribePending())
+	if s.Par != nil {
+		stopped, err := s.Par.Run(
+			func() bool { return s.remaining == 0 },
+			func(now sim.Time) error { return s.observe(ctx, now, wd, limit) },
+			parCheckEvery)
+		if err != nil {
+			return nil, err
 		}
-		steps++
-		if steps&(observeEvery-1) != 0 {
-			continue
+		if !stopped {
+			return nil, s.deadlockErr()
 		}
-		s.obs.maybeSnap(int64(s.Eng.Now()))
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("exp: run cancelled at t=%.0f ns: %w", s.Eng.Now().NS(), context.Cause(ctx))
-		}
-		if err := s.Mgr.Err(); err != nil {
-			return nil, fmt.Errorf("exp: manager failed at t=%.0f ns: %w", s.Eng.Now().NS(), err)
-		}
-		if err := wd.Observe(s.Eng.Now()); err != nil {
-			return nil, fmt.Errorf("exp: %w", err)
-		}
-		if s.Eng.Now() > limit {
-			return nil, fmt.Errorf("exp: watchdog: %d cores unfinished after %v ns simulated (livelock?)",
-				s.remaining, s.Eng.Now().NS())
+	} else {
+		steps := 0
+		for s.remaining > 0 {
+			if !s.Eng.Step() {
+				return nil, s.deadlockErr()
+			}
+			steps++
+			if steps&(observeEvery-1) != 0 {
+				continue
+			}
+			if err := s.observe(ctx, s.Eng.Now(), wd, limit); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if err := s.Mgr.Err(); err != nil {
@@ -287,6 +338,35 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	}
 	s.obs.finish(int64(s.Eng.Now()))
 	return s.collect(), nil
+}
+
+// observe is one host-driven observation: telemetry snapshot,
+// cancellation, manager failure, watchdog and the hard time ceiling. On
+// sequential runs it fires every observeEvery engine steps; on parallel
+// runs, at every full epoch barrier (both shards quiescent, so reading
+// any simulation state is safe).
+func (s *System) observe(ctx context.Context, now sim.Time, wd *sim.Watchdog, limit sim.Time) error {
+	s.obs.maybeSnap(int64(now))
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("exp: run cancelled at t=%.0f ns: %w", now.NS(), context.Cause(ctx))
+	}
+	if err := s.Mgr.Err(); err != nil {
+		return fmt.Errorf("exp: manager failed at t=%.0f ns: %w", now.NS(), err)
+	}
+	if err := wd.Observe(now); err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
+	if now > limit {
+		return fmt.Errorf("exp: watchdog: %d cores unfinished after %v ns simulated (livelock?)",
+			s.remaining, now.NS())
+	}
+	return nil
+}
+
+// deadlockErr reports a drained event queue with cores unfinished.
+func (s *System) deadlockErr() error {
+	return fmt.Errorf("exp: event queue drained with %d cores unfinished (deadlock)\n%s",
+		s.remaining, s.Ctl.Describe()+s.Mgr.DescribePending())
 }
 
 // CoreResult is one benchmark's measured behaviour.
@@ -367,6 +447,9 @@ func (s *System) collect() *Result {
 	r.EnergyProxy = energyProxy(r.DevStats)
 	r.SimulatedNS = s.Eng.Now().NS()
 	r.Events = s.Eng.Executed()
+	if s.Par != nil {
+		r.Events = s.Par.Executed()
+	}
 	r.Faults = s.Mgr.Stats.Faults
 	if inj := s.Mgr.Faults(); inj != nil {
 		r.Injected = inj.Stats

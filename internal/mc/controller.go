@@ -82,6 +82,12 @@ type Controller struct {
 	// scheduler (empty for the mc_polltick polling build).
 	sched ctlSched
 
+	// shard, when non-nil, is the memory-side shard of a parallel run:
+	// completions crossing back to the processor side (read Done events,
+	// migration commits) are posted through it instead of scheduled on
+	// the local engine (see SetShard).
+	shard *sim.Shard
+
 	Stats Stats
 }
 
@@ -115,6 +121,17 @@ func New(cfg Config, eng *sim.Engine, dev *dram.Device, cores int) (*Controller,
 
 // Device returns the attached DRAM model.
 func (c *Controller) Device() *dram.Device { return c.dev }
+
+// SetShard marks the controller as running on the memory-side shard of
+// a parallel simulation. Everything the controller schedules for itself
+// (channel ticks, refresh) stays on its own engine; only the events it
+// owes the processor side — read completions and migration commits —
+// are posted through s so they cross domains with the sender-ordered
+// key the sequential engine would have assigned.
+func (c *Controller) SetShard(s *sim.Shard) { c.shard = s }
+
+// callFunc is the trampoline for posting a plain func() across shards.
+func callFunc(a, _ any) { a.(func())() }
 
 // Enqueue adds a translated request to its channel's queue. Writes are
 // posted: Done fires immediately.
@@ -446,7 +463,11 @@ func (cc *chanCtl) issueMigration(t sim.Time) bool {
 			cc.unreserve(op)
 			done := op.done
 			if done != nil {
-				cc.ctl.eng.ScheduleAt(end, done)
+				if sh := cc.ctl.shard; sh != nil {
+					sh.PostCall(end, callFunc, done, nil)
+				} else {
+					cc.ctl.eng.ScheduleAt(end, done)
+				}
 			}
 			return true
 		}
@@ -707,7 +728,11 @@ func (cc *chanCtl) completeRead(req *Request, end sim.Time) {
 	}
 	if req.Done != nil {
 		req.doneKind = cc.serviceKind(req)
-		cc.ctl.eng.ScheduleCallAt(end, fireDone, req, nil)
+		if sh := cc.ctl.shard; sh != nil {
+			sh.PostCall(end, fireDone, req, nil)
+		} else {
+			cc.ctl.eng.ScheduleCallAt(end, fireDone, req, nil)
+		}
 	}
 }
 

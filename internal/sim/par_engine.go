@@ -1,0 +1,360 @@
+// Parallel engine: runs one simulation as two event-queue shards on
+// separate OS threads under conservative bounded-lookahead
+// synchronization, byte-identical to the sequential engine.
+//
+// # Decomposition
+//
+// The machine splits at the only place with a nonzero communication
+// latency in both directions of the simulated dataflow: between the
+// processor side (cores, caches, DAS manager — the "up" shard) and the
+// memory side (controller plus all DRAM channels — the "down" shard).
+// Finer channel-level sharding cannot be byte-identical here: the
+// controller's next-event scheduler coalesces same-instant ticks of all
+// channels into one event ordered by a controller-global chain key, and
+// cache fills complete waiters synchronously, so neither side has
+// internal latency to hide a cut behind. See DESIGN.md §5.3.
+//
+// # Conservative window
+//
+// Down→up messages (read-burst completions, migration completions) have
+// a minimum delivery latency D: the smallest read-issue→burst-end time
+// across timing classes, further clamped by a nonzero migration
+// latency. With epoch window W = D/2, a message sent during epoch k
+// arrives no earlier than epoch k+2, so the up shard may run epoch k+1
+// while the down shard is still in epoch k — a two-stage pipeline.
+// Up→down messages (request enqueues, migration requests, stat resets)
+// are synchronous calls with zero latency; they are safe because each
+// epoch is phased: the up shard finishes epoch k before the down shard
+// starts it, and nothing flows down→up inside an epoch.
+//
+// # Byte identity
+//
+// Every cross-shard message carries the (at, key) position its effect
+// occupies in the sequential run's total order: a scheduled-event
+// message (PostCall) allocates a sequence number from the sender's
+// engine exactly as ScheduleAt would have; a synchronous-call message
+// (PostSync) reuses the sequence number of the event that made the call,
+// because sequentially its effect happened inside that event. Sequence
+// numbers encode (scheduling instant << 20 | per-instant counter), so
+// keys from different shards compare on the shared picosecond clock
+// first. The receiver merges its local queue with the inbox under the
+// same (at, key) order the sequential engine fires in. The only
+// unordered case is an exact (instant, at) collision between events
+// scheduled on different shards, where the per-instant counters are not
+// comparable; messages win ties. Collision freedom — no two shards
+// scheduling same-instant events that fire at the same instant — is
+// therefore the protocol's ordering precondition. The equivalence suite
+// (internal/exp/parallel_equiv_test.go) gates that this never diverges
+// in practice across all designs, page policies and multicore mixes.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// timeMax is an effectively infinite epoch bound.
+const timeMax = Time(1) << 62
+
+
+// xmsg is one cross-shard message: a callback with the delivery time
+// and the total-order key described in the package comment above.
+type xmsg struct {
+	at   Time
+	key  uint64 // sender-side sequence number (see engine.go)
+	sub  uint64 // sender-side send index: orders messages with equal keys
+	cfn  func(a, b any)
+	a, b any
+	exec bool // counts as an executed event at delivery (PostCall kind)
+}
+
+func (m *xmsg) fire() { m.cfn(m.a, m.b) }
+
+// batch is one epoch's handoff between shards.
+type batch struct {
+	epoch int64
+	msgs  []xmsg
+	// cut, on the final up→down batch, is the exact (at, seq) position
+	// the up shard stopped at; the down shard runs up to it and no
+	// further, reproducing the sequential stop point.
+	cut *cutPoint
+}
+
+type cutPoint struct {
+	at  Time
+	key uint64
+}
+
+// Shard is one domain of a ParEngine: an engine plus the mailbox
+// machinery to exchange messages with its peer.
+type Shard struct {
+	pe   *ParEngine
+	eng  *Engine
+	idx  int // 0 = up (processor side), 1 = down (memory side)
+	peer *Shard
+
+	out     []xmsg // messages generated during the current epoch
+	sendIdx uint64
+	inbox   []xmsg // pending incoming messages, sorted by (at, key, sub)
+	pos     int    // first unconsumed inbox entry
+}
+
+// Eng returns the shard's event engine.
+func (s *Shard) Eng() *Engine { return s.eng }
+
+// PostSync crosses a synchronous call to the peer shard: fn(a, b) runs
+// at the current instant, ordered at the calling event's position in
+// the global order. Only the up shard may post synchronously — the
+// phased epoch order is what makes zero-latency delivery safe.
+func (s *Shard) PostSync(fn func(a, b any), a, b any) {
+	if s.idx != 0 {
+		panic("sim: PostSync from the down shard (zero-latency up-crossings are not conservative)")
+	}
+	s.sendIdx++
+	s.out = append(s.out, xmsg{
+		at: s.eng.now, key: s.eng.cur, sub: s.sendIdx,
+		cfn: fn, a: a, b: b,
+	})
+}
+
+// PostCall crosses a scheduled event to the peer shard: fn(a, b) runs
+// at absolute time at, ordered as if the sender had called
+// ScheduleCallAt. Only the down shard may post, and at must be at least
+// the conservative lookahead (2x the epoch window) in the future — the
+// bound FuzzEpochBarrier holds this engine to.
+func (s *Shard) PostCall(at Time, fn func(a, b any), a, b any) {
+	if s.idx != 1 {
+		panic("sim: PostCall from the up shard (use PostSync)")
+	}
+	if at < s.eng.now+2*s.pe.win {
+		panic(fmt.Sprintf("sim: cross-shard delivery at t=%d violates lookahead (now %d, window %d)",
+			at, s.eng.now, s.pe.win))
+	}
+	s.sendIdx++
+	s.out = append(s.out, xmsg{
+		at: at, key: s.eng.allocSeq(), sub: s.sendIdx,
+		cfn: fn, a: a, b: b, exec: true,
+	})
+}
+
+// takeOut hands the epoch's outgoing messages to the coordinator.
+func (s *Shard) takeOut() []xmsg {
+	m := s.out
+	s.out = nil
+	return m
+}
+
+// accept merges an incoming batch into the pending inbox.
+func (s *Shard) accept(msgs []xmsg) {
+	if len(msgs) == 0 {
+		return
+	}
+	if s.pos > 0 {
+		s.inbox = append(s.inbox[:0], s.inbox[s.pos:]...)
+		s.pos = 0
+	}
+	s.inbox = append(s.inbox, msgs...)
+	in := s.inbox
+	sort.Slice(in, func(i, j int) bool {
+		if in[i].at != in[j].at {
+			return in[i].at < in[j].at
+		}
+		if in[i].key != in[j].key {
+			return in[i].key < in[j].key
+		}
+		return in[i].sub < in[j].sub
+	})
+}
+
+// idle reports whether the shard has nothing left to do.
+func (s *Shard) idle() bool {
+	return s.eng.Pending() == 0 && s.pos >= len(s.inbox)
+}
+
+// next returns the earliest pending work item (local event or inbox
+// message) of the shard.
+func (s *Shard) next() (Time, bool) {
+	at, ok := s.eng.nextAt()
+	if s.pos < len(s.inbox) && (!ok || s.inbox[s.pos].at < at) {
+		return s.inbox[s.pos].at, true
+	}
+	return at, ok
+}
+
+// runEpoch fires local events and delivers inbox messages in merged
+// (at, key) order until the next item is at or beyond end (or beyond
+// the cut, when one is set). stop, when non-nil, is evaluated after
+// every fired item; when it returns true the shard halts immediately
+// and reports the exact position it stopped at.
+func (s *Shard) runEpoch(end Time, cut *cutPoint, stop func() bool) (bool, cutPoint) {
+	for {
+		lat, lseq, lok := s.eng.peekNext()
+		var m *xmsg
+		if s.pos < len(s.inbox) {
+			m = &s.inbox[s.pos]
+		}
+		// The message goes first when it sorts at or before the local
+		// head: equal (at, key) across shards is the undecidable tie
+		// (distinct engines' per-instant counters), resolved message-first.
+		if m != nil && (!lok || m.at < lat || (m.at == lat && m.key <= lseq)) {
+			if m.at >= end || (cut != nil && !beforeCut(m.at, m.key, cut)) {
+				return false, cutPoint{}
+			}
+			s.pos++
+			s.eng.deliver(m)
+		} else {
+			if !lok || lat >= end || (cut != nil && !beforeCut(lat, lseq, cut)) {
+				return false, cutPoint{}
+			}
+			s.eng.Step()
+		}
+		if stop != nil && stop() {
+			return true, cutPoint{at: s.eng.now, key: s.eng.cur}
+		}
+	}
+}
+
+// beforeCut reports whether position (at, key) fired before the cut in
+// the sequential order. At an exact tie the cut event wins, consistent
+// with the message-first rule (the cut is always an up-shard position
+// evaluated on the down shard).
+func beforeCut(at Time, key uint64, c *cutPoint) bool {
+	if at != c.at {
+		return at < c.at
+	}
+	return key < c.key
+}
+
+// ParEngine couples two engine shards under the conservative epoch
+// protocol. Build one with NewParEngine, wire components to the two
+// shards' engines, route cross-domain calls through PostSync/PostCall,
+// then drive the whole machine with Run.
+type ParEngine struct {
+	win Time
+	sh  [2]*Shard
+}
+
+// NewParEngine couples up (processor side) and down (memory side) under
+// epoch window win: no down→up message may be delivered less than 2*win
+// after it was sent. win must be half the minimum cross-domain latency
+// or less.
+func NewParEngine(up, down *Engine, win Time) *ParEngine {
+	if win <= 0 {
+		panic("sim: parallel engine window must be positive")
+	}
+	pe := &ParEngine{win: win}
+	pe.sh[0] = &Shard{pe: pe, eng: up, idx: 0}
+	pe.sh[1] = &Shard{pe: pe, eng: down, idx: 1}
+	pe.sh[0].peer = pe.sh[1]
+	pe.sh[1].peer = pe.sh[0]
+	return pe
+}
+
+// Window returns the epoch window.
+func (pe *ParEngine) Window() Time { return pe.win }
+
+// Shard returns shard i (0 = up, 1 = down).
+func (pe *ParEngine) Shard(i int) *Shard { return pe.sh[i] }
+
+// Executed returns the total executed event count across both shards;
+// it equals the sequential engine's count for the same simulation.
+func (pe *ParEngine) Executed() uint64 {
+	return pe.sh[0].eng.Executed() + pe.sh[1].eng.Executed()
+}
+
+// Run drives both shards to completion. The caller's goroutine runs the
+// up shard; the down shard runs on its own goroutine, one epoch behind.
+//
+// stop is evaluated on the up shard after every fired item; when it
+// returns true the run halts at that exact event (the down shard is cut
+// at the same global position) and Run returns (true, nil) — the
+// simulation state is then byte-identical to a sequential run stopped
+// by the same condition.
+//
+// check, when non-nil, runs on the caller's goroutine every checkEvery
+// epochs at a full barrier — both shards quiescent with all messages
+// merged — so it may read any simulation state (watchdogs, observers,
+// cancellation). A non-nil error aborts the run.
+//
+// Run returns (false, nil) when both shards drain without stop firing
+// (the sequential engine's "queue drained" condition).
+func (pe *ParEngine) Run(stop func() bool, check func(now Time) error, checkEvery int64) (bool, error) {
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	up, down := pe.sh[0], pe.sh[1]
+	toDown := make(chan batch, 2)
+	toUp := make(chan batch, 2)
+	go func() {
+		for b := range toDown {
+			down.accept(b.msgs)
+			if b.cut != nil {
+				down.runEpoch(timeMax, b.cut, nil)
+			} else {
+				down.runEpoch(Time(b.epoch+1)*pe.win, nil, nil)
+			}
+			toUp <- batch{epoch: b.epoch, msgs: down.takeOut()}
+		}
+		close(toUp)
+	}()
+	finish := func() {
+		close(toDown)
+		for range toUp { // release the worker; undelivered messages never fire
+		}
+	}
+	recvd := int64(-1) // highest down epoch merged into the up shard
+	for epoch := int64(0); ; epoch++ {
+		// Conservative dependency: up(k) needs every message delivered in
+		// epoch k, all sent ≥ 2 windows earlier, i.e. by down(k-2).
+		for recvd < epoch-2 {
+			b := <-toUp
+			up.accept(b.msgs)
+			recvd = b.epoch
+		}
+		stopped, cut := up.runEpoch(Time(epoch+1)*pe.win, nil, stop)
+		if stopped {
+			toDown <- batch{epoch: epoch, msgs: up.takeOut(), cut: &cut}
+			finish()
+			return true, nil
+		}
+		toDown <- batch{epoch: epoch, msgs: up.takeOut()}
+		if (epoch+1)%checkEvery != 0 {
+			continue
+		}
+		// Full barrier: wait for the down shard to finish every epoch sent
+		// so far. The channel receive orders its memory behind us, so
+		// check may read down-shard state.
+		for recvd < epoch {
+			b := <-toUp
+			up.accept(b.msgs)
+			recvd = b.epoch
+		}
+		if check != nil {
+			if err := check(up.eng.now); err != nil {
+				finish()
+				return false, err
+			}
+		}
+		if up.idle() && down.idle() {
+			finish()
+			return false, nil
+		}
+		// Both shards are quiescent and merged: skip straight to the
+		// epoch holding the earliest pending work (refresh-scale gaps
+		// would otherwise cost one empty handoff per window). No batch
+		// was sent for the skipped epochs, so they are marked received —
+		// at this barrier every sent batch has been merged (sends and
+		// receives are balanced), which keeps the accounting exact.
+		next := timeMax
+		if at, ok := up.next(); ok && at < next {
+			next = at
+		}
+		if at, ok := down.next(); ok && at < next {
+			next = at
+		}
+		if e := int64(next / pe.win); e > epoch+1 {
+			epoch = e - 1
+			recvd = epoch - 1
+		}
+	}
+}

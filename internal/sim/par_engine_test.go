@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The parallel engine's contract is byte-identity with the sequential
+// engine. These tests drive the same closed-loop request/reply workload
+// — the shape of the real system: processor-side clients posting
+// synchronous requests down, memory-side service events, scheduled
+// replies coming back up after the conservative lookahead — through
+// both execution modes and demand identical traces.
+
+// parRec is one traced model event.
+type parRec struct {
+	at  Time
+	tag string
+	id  int
+}
+
+func (r parRec) String() string { return fmt.Sprintf("%d:%s:%d", r.at, r.tag, r.id) }
+
+// parHarness wires the workload to either one engine (sequential
+// reference) or a two-shard ParEngine. Up-side and down-side handlers
+// append to separate traces because in parallel mode they run on
+// different goroutines; each side's trace must match the reference.
+//
+// All timestamps live on disjoint lattices — up-side events ≡ 0,
+// down-side service events ≡ 1, replies ≡ 5 (mod 10) — so the workload
+// satisfies the protocol's ordering precondition (see par_engine.go):
+// events scheduled on different shards at the same instant never fire
+// at the same instant, which is the one collision the cross-engine
+// (at, key) order cannot decide.
+type parHarness struct {
+	win       Time
+	upEng     *Engine
+	downEng   *Engine
+	upSh      *Shard // nil = sequential mode
+	downSh    *Shard
+	upRNG     *RNG
+	downRNG   *RNG
+	upTrace   []parRec
+	downTrace []parRec
+
+	clients   int
+	reqsLeft  []int
+	completed int
+}
+
+const parTestWin = Time(1000)
+
+func newParHarness(seed uint64, clients, reqsPerClient int, par bool) (*parHarness, *ParEngine) {
+	h := &parHarness{
+		win:      parTestWin,
+		upRNG:    NewRNG(seed),
+		downRNG:  NewRNG(seed ^ 0xD15EA5E),
+		clients:  clients,
+		reqsLeft: make([]int, clients),
+	}
+	for i := range h.reqsLeft {
+		h.reqsLeft[i] = reqsPerClient
+	}
+	h.upEng = NewEngine()
+	if !par {
+		h.downEng = h.upEng
+		return h, nil
+	}
+	h.downEng = NewEngine()
+	pe := NewParEngine(h.upEng, h.downEng, h.win)
+	h.upSh = pe.Shard(0)
+	h.downSh = pe.Shard(1)
+	return h, pe
+}
+
+// sendReq is the up-side client event: trace, then cross down.
+func sendReq(a, b any) {
+	h, id := a.(*parHarness), b.(int)
+	h.upTrace = append(h.upTrace, parRec{h.upEng.Now(), "send", id})
+	if h.upSh != nil {
+		h.upSh.PostSync(recvReq, h, id)
+		return
+	}
+	recvReq(h, id)
+}
+
+// recvReq is the down-side handler: a local service event plus a reply
+// scheduled at least the conservative lookahead (2*win) in the future.
+func recvReq(a, b any) {
+	h, id := a.(*parHarness), b.(int)
+	now := h.downEng.Now()
+	h.downTrace = append(h.downTrace, parRec{now, "recv", id})
+	srv := now + 1 + 10*Time(h.downRNG.Uint64n(uint64(h.win/10)))
+	h.downEng.ScheduleCallAt(srv, serveReq, h, id)
+	reply := now + 2*h.win + 5 + 10*Time(h.downRNG.Uint64n(uint64(3*h.win/10)))
+	if h.downSh != nil {
+		h.downSh.PostCall(reply, recvReply, h, id)
+		return
+	}
+	h.downEng.ScheduleCallAt(reply, recvReply, h, id)
+}
+
+// serveReq is a down-side local event (models a DRAM command).
+func serveReq(a, b any) {
+	h, id := a.(*parHarness), b.(int)
+	h.downTrace = append(h.downTrace, parRec{h.downEng.Now(), "srv", id})
+}
+
+// recvReply is the up-side completion: trace and, when the client has
+// requests left, schedule the next send — sometimes after a gap of many
+// windows, which exercises the coordinator's idle-skip.
+func recvReply(a, b any) {
+	h, id := a.(*parHarness), b.(int)
+	now := h.upEng.Now()
+	h.upTrace = append(h.upTrace, parRec{now, "reply", id})
+	h.completed++
+	if h.reqsLeft[id] <= 0 {
+		return
+	}
+	h.reqsLeft[id]--
+	gap := 5 + 10*Time(h.upRNG.Uint64n(uint64(3*h.win/10)))
+	if h.upRNG.Uint64n(8) == 0 {
+		gap += 200 * h.win
+	}
+	h.upEng.ScheduleCallAt(now+gap, sendReq, h, id)
+}
+
+func (h *parHarness) start() {
+	for i := 0; i < h.clients; i++ {
+		if h.reqsLeft[i] <= 0 {
+			continue
+		}
+		h.reqsLeft[i]--
+		h.upEng.ScheduleCallAt(Time(i)*10, sendReq, h, i)
+	}
+}
+
+// runParWorkload executes the workload in the requested mode and
+// returns both traces and the executed event count. stopAfter, when
+// positive, halts the run at the event that completes that many
+// replies (exercising the cut protocol); 0 runs to drain.
+func runParWorkload(t *testing.T, seed uint64, clients, reqsPerClient, stopAfter int, par bool, checkEvery int64) (up, down []parRec, executed uint64) {
+	t.Helper()
+	h, pe := newParHarness(seed, clients, reqsPerClient, par)
+	h.start()
+	var stop func() bool
+	if stopAfter > 0 {
+		stop = func() bool { return h.completed >= stopAfter }
+	}
+	if pe == nil {
+		for {
+			if stop != nil && stop() {
+				break
+			}
+			if !h.upEng.Step() {
+				break
+			}
+		}
+		return h.upTrace, h.downTrace, h.upEng.Executed()
+	}
+	stopped, err := pe.Run(stop, nil, checkEvery)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if want := stop != nil && h.completed >= stopAfter; stopped != want {
+		t.Fatalf("parallel run stopped=%v, want %v", stopped, want)
+	}
+	return h.upTrace, h.downTrace, pe.Executed()
+}
+
+func compareTraces(t *testing.T, name string, seq, par []parRec) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("%s trace length: sequential %d, parallel %d", name, len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("%s trace diverges at %d: sequential %v, parallel %v", name, i, seq[i], par[i])
+		}
+	}
+}
+
+// TestParEngineMatchesSequential drives randomized workloads to drain
+// in both modes and demands identical traces and executed counts.
+func TestParEngineMatchesSequential(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		sUp, sDown, sN := runParWorkload(t, seed, 3, 25, 0, false, 4)
+		pUp, pDown, pN := runParWorkload(t, seed, 3, 25, 0, true, 4)
+		compareTraces(t, "up", sUp, pUp)
+		compareTraces(t, "down", sDown, pDown)
+		if sN != pN {
+			t.Fatalf("seed %d: executed %d sequential, %d parallel", seed, sN, pN)
+		}
+	}
+}
+
+// TestParEngineStopCut halts mid-run at an exact completion count; the
+// cut protocol must stop the down shard at the same global position the
+// sequential run stops at.
+func TestParEngineStopCut(t *testing.T) {
+	for _, stopAfter := range []int{1, 7, 20} {
+		sUp, sDown, sN := runParWorkload(t, 42, 3, 25, stopAfter, false, 4)
+		pUp, pDown, pN := runParWorkload(t, 42, 3, 25, stopAfter, true, 4)
+		compareTraces(t, "up", sUp, pUp)
+		compareTraces(t, "down", sDown, pDown)
+		if sN != pN {
+			t.Fatalf("stopAfter %d: executed %d sequential, %d parallel", stopAfter, sN, pN)
+		}
+	}
+}
+
+// TestParEngineCheckBarrier verifies the periodic check runs at a full
+// barrier (monotone non-decreasing times, both shards quiescent) and
+// that a check error aborts the run.
+func TestParEngineCheckBarrier(t *testing.T) {
+	h, pe := newParHarness(9, 2, 20, true)
+	h.start()
+	var calls int
+	var last Time
+	_, err := pe.Run(nil, func(now Time) error {
+		calls++
+		if now < last {
+			t.Fatalf("check time went backwards: %d after %d", now, last)
+		}
+		last = now
+		return nil
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("check never ran")
+	}
+
+	h2, pe2 := newParHarness(9, 2, 20, true)
+	h2.start()
+	wantErr := fmt.Errorf("abort")
+	_, err = pe2.Run(nil, func(Time) error { return wantErr }, 1)
+	if err != wantErr {
+		t.Fatalf("check error not propagated: %v", err)
+	}
+}
+
+// TestPostCallLookaheadPanics pins the conservative bound: a down→up
+// message closer than two windows is a protocol violation and must
+// panic rather than silently break byte-identity.
+func TestPostCallLookaheadPanics(t *testing.T) {
+	up, down := NewEngine(), NewEngine()
+	pe := NewParEngine(up, down, 1000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PostCall within the lookahead window did not panic")
+		}
+	}()
+	pe.Shard(1).PostCall(1999, func(a, b any) {}, nil, nil)
+}
+
+// TestPostSyncFromDownPanics pins the phase rule: zero-latency
+// messages may only cross downward.
+func TestPostSyncFromDownPanics(t *testing.T) {
+	up, down := NewEngine(), NewEngine()
+	pe := NewParEngine(up, down, 1000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PostSync from the down shard did not panic")
+		}
+	}()
+	pe.Shard(1).PostSync(func(a, b any) {}, nil, nil)
+}
+
+// FuzzEpochBarrier fuzzes the workload shape (seed, fan-out, request
+// counts, stop point, barrier period) and demands the parallel engine
+// stay byte-identical to the sequential reference. The engine's own
+// assertions ride along: PostCall panics on a lookahead violation and
+// deliver panics if a message would arrive in a shard's past.
+func FuzzEpochBarrier(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(10), uint8(0), uint8(4))
+	f.Add(uint64(42), uint8(3), uint8(25), uint8(7), uint8(1))
+	f.Add(uint64(7), uint8(1), uint8(40), uint8(3), uint8(64))
+	f.Fuzz(func(t *testing.T, seed uint64, clients, reqs, stopAfter, checkEvery uint8) {
+		c := int(clients%4) + 1
+		r := int(reqs % 32)
+		stop := int(stopAfter % 16)
+		ce := int64(checkEvery%8) + 1
+		sUp, sDown, sN := runParWorkload(t, seed, c, r, stop, false, ce)
+		pUp, pDown, pN := runParWorkload(t, seed, c, r, stop, true, ce)
+		compareTraces(t, "up", sUp, pUp)
+		compareTraces(t, "down", sDown, pDown)
+		if sN != pN {
+			t.Fatalf("executed %d sequential, %d parallel", sN, pN)
+		}
+	})
+}

@@ -31,12 +31,14 @@ type Epoch struct {
 	Metrics []Metric
 }
 
-// Snap appends a snapshot of reg at simulated time atPS.
-func (t *Timeline) Snap(atPS int64, reg *Registry) {
+// Snap appends a snapshot of the given registries (merged and sorted by
+// metric name; see SnapshotAll) at simulated time atPS. Sharded runs
+// pass one registry per shard.
+func (t *Timeline) Snap(atPS int64, regs ...*Registry) {
 	if t == nil {
 		return
 	}
-	t.epochs = append(t.epochs, Epoch{AtPS: atPS, Metrics: reg.Snapshot(nil)})
+	t.epochs = append(t.epochs, Epoch{AtPS: atPS, Metrics: SnapshotAll(nil, regs...)})
 }
 
 // Epochs returns the recorded snapshots in simulated-time order.

@@ -46,6 +46,17 @@ cmp "$tmp_quad" "$tmp_ref"
 go run -tags mc_polltick ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 >"$tmp_ref" 2>/dev/null
 cmp "$tmp_quad" "$tmp_ref"
 
+echo "== parallel-engine byte identity: sequential vs sharded machine"
+# The same figure once more on the channel-sharded parallel engine (two
+# OS threads under the conservative epoch protocol): rendered bytes must
+# match the sequential run exactly, at 2 and at 4 requested shards. The
+# command-stream digests behind this identity are gated per design by
+# TestParallelEquivalence in the suite above.
+go run ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 -parallel 2 >"$tmp_ref" 2>/dev/null
+cmp "$tmp_quad" "$tmp_ref"
+go run ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 -parallel 4 >"$tmp_ref" 2>/dev/null
+cmp "$tmp_quad" "$tmp_ref"
+
 echo "== telemetry determinism: observed run renders identical figures"
 # Same figure with the full telemetry stack enabled (metrics timeline +
 # trace export): the rendered figure must be byte-identical to the
@@ -75,6 +86,7 @@ go run ./cmd/dasbench -explain standard,das -benchmarks mcf -instr 200000 >/dev/
 
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz FuzzScheduleOrder -fuzztime 10s ./internal/sim
+go test -run '^$' -fuzz FuzzEpochBarrier -fuzztime 10s ./internal/sim
 go test -run '^$' -fuzz FuzzConfigJSON -fuzztime 10s ./internal/config
 
 echo "== benchmark smoke (1 iteration per benchmark)"
@@ -101,8 +113,10 @@ echo "== server smoke (dasserve + dasload: dedup, cache exactness, drain)"
 # burst, then assert the robustness contract end to end: at least one
 # request was served from the exact-result cache (-assert-hits against
 # /jobs), repeated requests return byte-identical bodies (-verify), and
-# SIGTERM drains cleanly (dasserve exits 0).
-go build -o "$tmp_sink.serve" ./cmd/dasserve
+# SIGTERM drains cleanly (dasserve exits 0). The server binary is built
+# with the race detector so the smoke also covers the worker pool and
+# the parallel engine's shard goroutines under real HTTP traffic.
+go build -race -o "$tmp_sink.serve" ./cmd/dasserve
 go build -o "$tmp_sink.load" ./cmd/dasload
 rm -f "$tmp_sink.addr"
 "$tmp_sink.serve" -addr 127.0.0.1:0 -addr-file "$tmp_sink.addr" \
