@@ -10,14 +10,22 @@
 // hit and both bodies are byte-identical; -assert-hits N requires the
 // server's cache-hit counter (from /jobs) to have reached N.
 //
+// Observability checks ride along: every attempt's latency is recorded
+// and reported as p50/p95/p99 per outcome class (miss, hit, coalesced,
+// 429, 5xx, error); -follow subscribes to the first body's SSE progress
+// stream during the burst and asserts monotonic frames and a clean
+// close; -check-metrics scrapes /metrics and validates the Prometheus
+// exposition.
+//
 // Examples:
 //
 //	dasload -addr localhost:8077 -n 32 '{"figure":"table2"}'
 //	dasload -addr localhost:8077 -n 24 -rate 50 -verify -assert-hits 1 \
-//	    '{"design":"das","benchmarks":["mcf"]}' @req.json
+//	    -follow -check-metrics '{"design":"das","benchmarks":["mcf"]}' @req.json
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,9 +34,14 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -53,6 +66,9 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "jitter seed")
 		verify     = flag.Bool("verify", false, "after the burst, re-request each distinct body twice and assert cache hits return byte-identical responses")
 		assertHits = flag.Int("assert-hits", -1, "require the server's serve.cache.hits counter to be at least this (-1 = don't check)")
+		follow     = flag.Bool("follow", false, "subscribe to the first body's SSE progress stream during the burst and assert monotonic frames and a clean close")
+		followMin  = flag.Int("follow-min", 1, "with -follow, require at least this many progress frames")
+		checkMetr  = flag.Bool("check-metrics", false, "after the burst, scrape /metrics and validate the Prometheus exposition")
 	)
 	flag.Parse()
 
@@ -65,6 +81,13 @@ func run() error {
 		return err
 	}
 	client := &http.Client{Timeout: *reqTO}
+	lats := newLatencies()
+
+	var followc chan followResult
+	if *follow {
+		followc = make(chan followResult, 1)
+		go func() { followc <- followStream(client, base, bodies[0]) }()
+	}
 
 	type outcome struct {
 		ok      bool
@@ -85,7 +108,7 @@ func run() error {
 			defer func() { <-sem }()
 			rng := rand.New(rand.NewSource(*seed + int64(i)))
 			body := bodies[i%len(bodies)]
-			st, cache, tries, _, err := post(client, base, body, *retries, *backoff, *backoffCap, rng)
+			st, cache, tries, _, err := post(client, base, body, *retries, *backoff, *backoffCap, rng, lats)
 			results <- outcome{ok: err == nil && st == http.StatusOK, status: st, retries: tries, cache: cache, err: err}
 		}(i)
 	}
@@ -110,8 +133,21 @@ func run() error {
 	fmt.Printf("dasload: %d ok / %d failed in %v (%d retries; miss=%d coalesced=%d hit=%d)\n",
 		ok, failed, time.Since(start).Round(time.Millisecond),
 		totalRetries, byCache["miss"], byCache["coalesced"], byCache["hit"])
+	fmt.Print(lats.report())
 	if failed > 0 {
 		return fmt.Errorf("%d requests failed", failed)
+	}
+
+	if *follow {
+		fr := <-followc
+		if fr.err != nil {
+			return fmt.Errorf("follow: %w", fr.err)
+		}
+		fmt.Printf("dasload: followed %s: %d monotonic frames, clean close (final state %s)\n",
+			fr.key, fr.frames, fr.state)
+		if fr.frames < *followMin {
+			return fmt.Errorf("follow: %d frames, want at least %d", fr.frames, *followMin)
+		}
 	}
 
 	if *verify {
@@ -130,7 +166,194 @@ func run() error {
 		}
 		fmt.Printf("dasload: cache hits %.0f >= %d\n", hits, *assertHits)
 	}
+	if *checkMetr {
+		n, err := validateMetrics(client, base)
+		if err != nil {
+			return fmt.Errorf("check-metrics: %w", err)
+		}
+		fmt.Printf("dasload: /metrics exposition valid (%d families)\n", n)
+	}
 	return nil
+}
+
+// latencies collects per-attempt response times keyed by outcome class:
+// the X-Cache disposition for 200s (miss/coalesced/hit), "429", "5xx",
+// "4xx" or "error" otherwise.
+type latencies struct {
+	mu      sync.Mutex
+	byClass map[string][]float64 // milliseconds
+}
+
+func newLatencies() *latencies { return &latencies{byClass: map[string][]float64{}} }
+
+func (l *latencies) add(class string, d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.byClass[class] = append(l.byClass[class], float64(d.Nanoseconds())/1e6)
+	l.mu.Unlock()
+}
+
+// classify maps one attempt's result to its outcome class.
+func classify(status int, cache string, err error) string {
+	switch {
+	case err != nil:
+		return "error"
+	case status == http.StatusOK:
+		if cache == "" {
+			return "ok"
+		}
+		return cache
+	case status == http.StatusTooManyRequests:
+		return "429"
+	case status >= 500:
+		return "5xx"
+	default:
+		return "4xx"
+	}
+}
+
+// report renders the client-side latency table: count and p50/p95/p99
+// per class, classes sorted for stable output.
+func (l *latencies) report() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.byClass) == 0 {
+		return ""
+	}
+	classes := make([]string, 0, len(l.byClass))
+	for c := range l.byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	var b strings.Builder
+	b.WriteString("dasload: attempt latency by outcome class (ms):\n")
+	fmt.Fprintf(&b, "  %-10s %6s %9s %9s %9s\n", "class", "n", "p50", "p95", "p99")
+	for _, c := range classes {
+		xs := l.byClass[c]
+		fmt.Fprintf(&b, "  %-10s %6d %9.2f %9.2f %9.2f\n", c, len(xs),
+			stats.Percentile(xs, 0.50), stats.Percentile(xs, 0.95), stats.Percentile(xs, 0.99))
+	}
+	return b.String()
+}
+
+type followResult struct {
+	key    string
+	frames int
+	state  string
+	err    error
+}
+
+// progressFrame mirrors serve.ProgressFrame's wire shape.
+type progressFrame struct {
+	Seq    int     `json:"seq"`
+	State  string  `json:"state"`
+	Events uint64  `json:"events"`
+	Instrs uint64  `json:"instrs"`
+	SimNS  float64 `json:"sim_ns"`
+}
+
+// followStream learns body's canonical key from /key, subscribes to its
+// SSE progress stream (retrying 404 until the job is admitted), and
+// consumes frames until the server's done event, verifying the stream's
+// monotonicity contract along the way.
+func followStream(client *http.Client, base, body string) followResult {
+	resp, err := client.Post(base+"/key", "application/json", strings.NewReader(body))
+	if err != nil {
+		return followResult{err: err}
+	}
+	var keyResp struct {
+		Key string `json:"key"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&keyResp)
+	resp.Body.Close()
+	if err != nil {
+		return followResult{err: fmt.Errorf("/key: %w", err)}
+	}
+	if resp.StatusCode != http.StatusOK || keyResp.Key == "" {
+		return followResult{err: fmt.Errorf("/key: HTTP %d", resp.StatusCode)}
+	}
+	res := followResult{key: keyResp.Key}
+
+	// The job only becomes subscribable on admission; poll through the
+	// burst's ramp-up.
+	deadline := time.Now().Add(time.Minute)
+	var stream *http.Response
+	for {
+		stream, err = client.Get(base + "/jobs/" + keyResp.Key + "/events")
+		if err != nil {
+			res.err = err
+			return res
+		}
+		if stream.StatusCode == http.StatusOK {
+			break
+		}
+		stream.Body.Close()
+		if stream.StatusCode != http.StatusNotFound || time.Now().After(deadline) {
+			res.err = fmt.Errorf("subscribe: HTTP %d", stream.StatusCode)
+			return res
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer stream.Body.Close()
+
+	var prev progressFrame
+	clean := false
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "event: done" {
+			clean = true
+			break
+		}
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var f progressFrame
+		if err := json.Unmarshal([]byte(data), &f); err != nil {
+			res.err = fmt.Errorf("frame %q: %w", data, err)
+			return res
+		}
+		if res.frames > 0 && (f.Seq != prev.Seq+1 || f.Events < prev.Events ||
+			f.Instrs < prev.Instrs || f.SimNS < prev.SimNS) {
+			res.err = fmt.Errorf("stream not monotonic: %+v -> %+v", prev, f)
+			return res
+		}
+		prev = f
+		res.frames++
+		res.state = f.State
+	}
+	if err := sc.Err(); err != nil {
+		res.err = err
+		return res
+	}
+	if !clean {
+		res.err = fmt.Errorf("stream ended after %d frames without the done event", res.frames)
+	}
+	return res
+}
+
+// validateMetrics scrapes /metrics and runs the self-contained
+// exposition validator, returning the family count.
+func validateMetrics(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if err := telemetry.ValidateExposition(data); err != nil {
+		return 0, err
+	}
+	return strings.Count(string(data), "# TYPE "), nil
 }
 
 // loadBodies resolves the request bodies from args: literal JSON, or
@@ -191,9 +414,11 @@ func interArrival(t time.Duration, rate float64, ramp time.Duration) time.Durati
 // post sends one request, retrying 429 and 5xx with capped exponential
 // backoff and full jitter, honoring Retry-After when the server sends
 // one. It returns the final status, the X-Cache disposition, the retry
-// count and the response body.
-func post(client *http.Client, base, body string, retries int, backoff, ceil time.Duration, rng *rand.Rand) (status int, cache string, tries int, data []byte, err error) {
+// count and the response body. Every attempt (including retried ones)
+// records its latency into lats under its outcome class.
+func post(client *http.Client, base, body string, retries int, backoff, ceil time.Duration, rng *rand.Rand, lats *latencies) (status int, cache string, tries int, data []byte, err error) {
 	for attempt := 0; ; attempt++ {
+		attemptStart := time.Now()
 		var resp *http.Response
 		resp, err = client.Post(base+"/run", "application/json", strings.NewReader(body))
 		var retryAfter time.Duration
@@ -202,6 +427,7 @@ func post(client *http.Client, base, body string, retries int, backoff, ceil tim
 			resp.Body.Close()
 			status = resp.StatusCode
 			cache = resp.Header.Get("X-Cache")
+			lats.add(classify(status, cache, err), time.Since(attemptStart))
 			if err == nil && status == http.StatusOK {
 				return status, cache, attempt, data, nil
 			}
@@ -211,8 +437,11 @@ func post(client *http.Client, base, body string, retries int, backoff, ceil tim
 			if ra, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil {
 				retryAfter = time.Duration(ra) * time.Second
 			}
-		} else if attempt >= retries {
-			return 0, "", attempt, nil, err
+		} else {
+			lats.add(classify(0, "", err), time.Since(attemptStart))
+			if attempt >= retries {
+				return 0, "", attempt, nil, err
+			}
 		}
 		delay := backoff << attempt
 		if delay > ceil || delay <= 0 {
@@ -241,11 +470,11 @@ func verifyCache(client *http.Client, base string, bodies []string) error {
 		}
 		seen[b] = true
 		rng := rand.New(rand.NewSource(0))
-		_, _, _, first, err := post(client, base, b, 4, 100*time.Millisecond, time.Second, rng)
+		_, _, _, first, err := post(client, base, b, 4, 100*time.Millisecond, time.Second, rng, nil)
 		if err != nil {
 			return fmt.Errorf("verify: %w", err)
 		}
-		_, cache, _, second, err := post(client, base, b, 4, 100*time.Millisecond, time.Second, rng)
+		_, cache, _, second, err := post(client, base, b, 4, 100*time.Millisecond, time.Second, rng, nil)
 		if err != nil {
 			return fmt.Errorf("verify: %w", err)
 		}

@@ -17,10 +17,14 @@
 //	curl -s -X POST localhost:8077/run -d '{"figure":"table2"}'
 //	curl -s -X POST localhost:8077/run -d '{"design":"das","benchmarks":["mcf"]}'
 //	curl -s localhost:8077/jobs
+//	curl -s -X POST localhost:8077/key -d '{"figure":"7b"}'   # -> {"key":...}
+//	curl -N localhost:8077/jobs/<key>/events                  # SSE progress
+//	curl -s localhost:8077/metrics                            # Prometheus
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -61,6 +65,7 @@ func run() error {
 		seed     = flag.Uint64("seed", 0, "base workload seed override")
 		parallel = flag.Int("parallel", 0, "shard each simulated machine across OS threads (0/1 = sequential, >=2 = processor/memory shards; results are byte-identical and share cache entries)")
 		debugAt  = flag.String("debug", "", "also serve the telemetry debug endpoint (/metrics, /debug/pprof) on this address")
+		logJSON  = flag.Bool("log-json", false, "log one JSON object per job transition (admitted/start/done/failed/shed) instead of free text")
 	)
 	flag.Parse()
 
@@ -86,7 +91,7 @@ func run() error {
 		return err
 	}
 
-	srv := serve.New(serve.Options{
+	opts := serve.Options{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		JobTimeout:     *jobTO,
@@ -94,7 +99,18 @@ func run() error {
 		RetryAfter:     *retryAft,
 		Base:           cfg,
 		Logf:           log.Printf,
-	})
+	}
+	if *logJSON {
+		opts.Log = func(ev serve.LogEvent) {
+			line, err := json.Marshal(ev)
+			if err != nil {
+				log.Printf("log-json: %v", err)
+				return
+			}
+			log.Print(string(line))
+		}
+	}
+	srv := serve.New(opts)
 
 	var pub *telemetry.Publisher
 	if *debugAt != "" {

@@ -30,6 +30,14 @@ type ObserveOptions struct {
 	// Which loads are sampled is derived from the workload seed and the
 	// core id, so sampling is deterministic and never perturbs figures.
 	ReqTraceN int
+	// ShardProf merges the parallel engine's per-shard occupancy
+	// profile (par.up.* / par.down.* wall-clock nanoseconds, epochs and
+	// mailbox-depth counts) into the metrics snapshot. Off by default:
+	// these are host wall-clock values, so enabling them intentionally
+	// gives up the timeline's run-to-run byte identity (figure bytes
+	// are unaffected either way). Requires Metrics; no-op on sequential
+	// runs.
+	ShardProf bool
 }
 
 // DefaultIntervalPS is the default timeline epoch: 100 µs of simulated
@@ -61,6 +69,7 @@ type Observer struct {
 	RegMC   *telemetry.Registry
 	TraceMC *telemetry.TraceRecorder
 
+	shardProf  bool
 	nextSnapPS int64
 }
 
@@ -87,6 +96,7 @@ func newObserver(label string, seed uint64, opt *ObserveOptions) *Observer {
 	if opt.ReqTraceN > 0 {
 		o.Req = reqtrace.NewRecorder(label, opt.ReqTraceN, seed)
 	}
+	o.shardProf = opt.ShardProf
 	return o
 }
 
@@ -151,6 +161,22 @@ func (s *System) AttachObserver(obs *Observer) {
 			reg.Sample("sim.events_executed", func() int64 { return int64(par.Executed()) })
 		} else {
 			reg.Sample("sim.events_executed", func() int64 { return int64(s.Eng.Executed()) })
+		}
+	}
+	if par := s.Par; par != nil && obs.shardProf && reg.Enabled() {
+		// Epoch-profiler occupancy, polled at snapshot time. Both shards'
+		// profiles are safe to read from the host goroutine here:
+		// snapshots happen at full epoch barriers or after the run, where
+		// the barrier's channel receive orders the down shard's writes
+		// before the read. Registered on the up-shard registry — sample
+		// functions run on the host goroutine, never on the down shard's
+		// OS thread.
+		for i, side := range []string{"up", "down"} {
+			i := i
+			reg.Sample("par."+side+".busy_ns", func() int64 { return par.Prof(i).BusyNS })
+			reg.Sample("par."+side+".wait_ns", func() int64 { return par.Prof(i).WaitNS })
+			reg.Sample("par."+side+".barrier_ns", func() int64 { return par.Prof(i).BarrierNS })
+			reg.Sample("par."+side+".epochs", func() int64 { return int64(par.Prof(i).Epochs) })
 		}
 	}
 	if obs.Req != nil {

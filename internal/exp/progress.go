@@ -1,0 +1,240 @@
+package exp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Live progress: the session's in-flight counters. The existing
+// events/instrs totals (EventsExecuted, InstrsRetired) are fed by
+// countRun at run *end* — the benchmark suite depends on that
+// end-of-run semantic — so streaming consumers get their own counters,
+// advanced from the host observation points only: the sequential run
+// loop's observeEvery stride and the parallel engine's full epoch
+// barriers. No engine event ever touches them, so a subscribed
+// progress stream cannot perturb simulation ordering (the same
+// argument as the telemetry registry, enforced end to end by the
+// byte-identity gates in check.sh).
+type liveProgress struct {
+	events atomic.Uint64
+	instrs atomic.Uint64
+	simPS  atomic.Int64 // high-water simulated time across in-flight runs
+}
+
+// LiveEvents reports engine events executed by this session including
+// runs still in flight, updated at the observation stride. Monotonic.
+func (s *Session) LiveEvents() uint64 { return s.live.events.Load() }
+
+// LiveInstrs reports instructions retired by this session including
+// runs still in flight, updated at the observation stride. Monotonic.
+func (s *Session) LiveInstrs() uint64 { return s.live.instrs.Load() }
+
+// LiveSimNS reports the furthest simulated time (ns) any of the
+// session's runs has reached. Monotonic.
+func (s *Session) LiveSimNS() float64 { return float64(s.live.simPS.Load()) / 1e3 }
+
+// attachLive binds the session's live counters to one system; the
+// system folds deltas in at every observation point.
+func (s *System) attachLive(lp *liveProgress) { s.live = lp }
+
+// syncLive folds this system's progress since the last observation into
+// the session-wide live counters. Called from the host observation
+// points only (never from engine events). Cores and engines are safe to
+// read here: sequentially we are between events, in parallel we are at
+// a full epoch barrier.
+func (s *System) syncLive(now sim.Time) {
+	if s.live == nil {
+		return
+	}
+	ev := s.Eng.Executed()
+	if s.Par != nil {
+		ev = s.Par.Executed()
+	}
+	var in uint64
+	for _, c := range s.Cores {
+		in += c.RetiredTotal()
+	}
+	s.live.events.Add(ev - s.lastLiveEv)
+	s.live.instrs.Add(in - s.lastLiveIn)
+	s.lastLiveEv, s.lastLiveIn = ev, in
+	// High-water mark: concurrent runs race to publish their frontier,
+	// and the stream must never observe simulated time moving backwards.
+	for {
+		cur := s.live.simPS.Load()
+		if int64(now) <= cur || s.live.simPS.CompareAndSwap(cur, int64(now)) {
+			return
+		}
+	}
+}
+
+// InstrHorizon estimates the total instructions a figure will retire:
+// fresh runs per workload set x cores per set x the per-core quota.
+// It is an ETA denominator, not a contract — profiling prepasses and
+// cross-figure run reuse make the true count drift a little — so
+// consumers must treat progress/horizon as advisory. 0 means unknown
+// (or free: the static tables).
+func (s *Session) InstrHorizon(name string) uint64 {
+	quota := s.Cfg.InstrPerCore
+	nSingle := uint64(len(s.singles()))
+	mixSets, _ := s.mixSets()
+	nMix := uint64(len(mixSets))
+	switch name {
+	case "table1", "table2", "area":
+		return 0
+	case "7a":
+		return nSingle * 6 * quota // baseline + 5 comparison designs
+	case "7b":
+		return nSingle * 1 * quota // DAS only
+	case "7c":
+		return nSingle * 2 * quota // SAS + DAS
+	case "7d":
+		return nMix * 6 * 4 * quota
+	case "7e":
+		return nMix * 1 * 4 * quota
+	case "7f":
+		return nMix * 2 * 4 * quota
+	case "8":
+		return nSingle * (uint64(len(FilterThresholds)) + 1) * quota
+	case "9a", "9b":
+		return nSingle * 5 * quota // 4 sweep points + baseline
+	case "9c", "9d":
+		return nSingle * 4 * quota
+	case "power":
+		return nSingle * 5 * quota // 4 designs + baseline
+	case "faults":
+		return nSingle * 8 * quota
+	default:
+		return 0
+	}
+}
+
+// DesignInstrHorizon estimates the instructions a single-design run
+// (serve's design requests, dasbench -design) will retire.
+func (s *Session) DesignInstrHorizon(design core.Design, benchmarks []string) uint64 {
+	quota := uint64(len(benchmarks)) * s.Cfg.InstrPerCore
+	if design == core.Standard {
+		return quota
+	}
+	return 2 * quota // baseline + design
+}
+
+// ShardUsage aggregates sim.ShardProf occupancy across a session's
+// parallel runs. The telescoping invariant survives aggregation:
+// BusyNS + WaitNS + BarrierNS == WallNS, exactly.
+type ShardUsage struct {
+	BusyNS    int64
+	WaitNS    int64
+	BarrierNS int64
+	WallNS    int64
+	Epochs    uint64
+	Mbox      [sim.MboxDepthBuckets]uint64
+}
+
+func (u *ShardUsage) add(p sim.ShardProf) {
+	u.BusyNS += p.BusyNS
+	u.WaitNS += p.WaitNS
+	u.BarrierNS += p.BarrierNS
+	u.WallNS += p.WallNS
+	u.Epochs += p.Epochs
+	for i, c := range p.Mbox {
+		u.Mbox[i] += c
+	}
+}
+
+// StallFraction is the share of the shard's wall time not spent
+// executing events: mailbox waits plus barrier drains. This is the
+// number that explains a sub-1x parallel speedup.
+func (u ShardUsage) StallFraction() float64 {
+	if u.WallNS == 0 {
+		return 0
+	}
+	return float64(u.WaitNS+u.BarrierNS) / float64(u.WallNS)
+}
+
+// ParProfile is the session-wide epoch-profiler aggregate.
+type ParProfile struct {
+	Runs int // parallel runs folded in
+	Up   ShardUsage
+	Down ShardUsage
+}
+
+// ShardProfile returns the aggregated occupancy profile of every
+// parallel run this session completed (zero value when the session ran
+// sequentially).
+func (s *Session) ShardProfile() ParProfile {
+	s.parMu.Lock()
+	defer s.parMu.Unlock()
+	return s.parProf
+}
+
+// foldPar accumulates a finished system's shard profiles into the
+// session aggregate (no-op for sequential systems).
+func (s *Session) foldPar(sys *System) {
+	if sys.Par == nil {
+		return
+	}
+	s.parMu.Lock()
+	defer s.parMu.Unlock()
+	s.parProf.Runs++
+	s.parProf.Up.add(sys.Par.Prof(0))
+	s.parProf.Down.add(sys.Par.Prof(1))
+}
+
+// ShardReport renders the session's aggregated epoch profile as a
+// figure (dasbench -parshard-report). Nanosecond columns are exact
+// accumulator values, so busy+wait+barrier can be checked against wall
+// by eye or by script; percentages are derived. Returns an error when
+// no parallel run contributed (the report would be vacuous).
+func (s *Session) ShardReport() (*Figure, error) {
+	p := s.ShardProfile()
+	if p.Runs == 0 {
+		return nil, fmt.Errorf("exp: no parallel runs profiled (need -parallel >= 2)")
+	}
+	tbl := &stats.Table{
+		Title:  "Parallel-engine shard occupancy",
+		Header: []string{"shard", "busy_ns", "wait_ns", "barrier_ns", "wall_ns", "busy", "stall", "epochs"},
+	}
+	pct := func(num, den int64) string {
+		if den == 0 {
+			return stats.Percent(0)
+		}
+		return stats.Percent(float64(num) / float64(den))
+	}
+	for _, row := range []struct {
+		name string
+		u    ShardUsage
+	}{{"up (cores/caches/mgr)", p.Up}, {"down (mc/dram)", p.Down}} {
+		u := row.u
+		tbl.AddRow(row.name,
+			fmt.Sprintf("%d", u.BusyNS), fmt.Sprintf("%d", u.WaitNS),
+			fmt.Sprintf("%d", u.BarrierNS), fmt.Sprintf("%d", u.WallNS),
+			pct(u.BusyNS, u.WallNS), stats.Percent(u.StallFraction()),
+			fmt.Sprintf("%d", u.Epochs))
+	}
+	mbox := &stats.Table{
+		Title:  "Outbound mailbox depth at epoch send",
+		Header: []string{"shard", "depth 0", "depth 1", "depth 2+"},
+	}
+	for _, row := range []struct {
+		name string
+		u    ShardUsage
+	}{{"up", p.Up}, {"down", p.Down}} {
+		var tail uint64
+		for _, c := range row.u.Mbox[2:] {
+			tail += c
+		}
+		mbox.AddRow(row.name,
+			fmt.Sprintf("%d", row.u.Mbox[0]), fmt.Sprintf("%d", row.u.Mbox[1]),
+			fmt.Sprintf("%d", tail))
+	}
+	tbl.Caption = fmt.Sprintf(
+		"Across %d parallel run(s): busy+wait+barrier sums exactly to wall per shard (telescoping laps). "+
+			"Pipeline-stall fraction (up shard wait+barrier over wall): %s.",
+		p.Runs, stats.Percent(p.Up.StallFraction()))
+	mbox.Caption = "Depth 2 (full, cap-2 channel) at send means the peer is the bottleneck; depth 0 means this shard is."
+	return &Figure{ID: "ParShard", Title: "Epoch profiler", Tables: []*stats.Table{tbl, mbox}}, nil
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestLiveProgressTracksRun pins the streaming-progress counters: they
+// advance during a run (not only at its end), land exactly on the
+// end-of-run totals, and never run ahead of them. The figure bytes of a
+// run with live counters attached must match an unattached run — live
+// progress reads engine state at observation points and writes nothing
+// back, so this is the perturbation-free gate at unit scale.
+func TestLiveProgressTracksRun(t *testing.T) {
+	cfg := tinyConfig()
+	s := NewSession(cfg)
+	res, err := s.Baseline([]string{"mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.LiveEvents(), s.EventsExecuted(); got != want {
+		t.Fatalf("LiveEvents = %d after run end, want %d (end-of-run total)", got, want)
+	}
+	// Live instrs count every retirement including warm-up; the
+	// end-of-run counter holds the measured window only, so live must
+	// land exactly on the full per-core quota and above the counter.
+	if got, want := s.LiveInstrs(), cfg.InstrPerCore; got != want {
+		t.Fatalf("LiveInstrs = %d after run end, want the full quota %d", got, want)
+	}
+	if s.LiveInstrs() < s.InstrsRetired() {
+		t.Fatalf("LiveInstrs %d < measured-window total %d", s.LiveInstrs(), s.InstrsRetired())
+	}
+	if s.LiveSimNS() <= 0 {
+		t.Fatal("LiveSimNS did not advance")
+	}
+	if res.Events == 0 {
+		t.Fatal("run executed no events")
+	}
+}
+
+// TestLiveProgressParallelMatchesSequential runs the same design
+// sequentially and on the parallel engine: final live totals must be
+// identical (the parallel engine's barrier observations feed the same
+// counters), and the parallel session must hold a shard profile whose
+// components telescope.
+func TestLiveProgressParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs")
+	}
+	seqCfg := tinyConfig()
+	seq := NewSession(seqCfg)
+	if _, err := seq.Run(seqCfg, core.DAS, []string{"mcf"}); err != nil {
+		t.Fatal(err)
+	}
+
+	parCfg := tinyConfig()
+	parCfg.Parallel = 2
+	par := NewSession(parCfg)
+	if _, err := par.Run(parCfg, core.DAS, []string{"mcf"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if seq.LiveEvents() != par.LiveEvents() {
+		t.Fatalf("live events diverge: sequential %d, parallel %d", seq.LiveEvents(), par.LiveEvents())
+	}
+	if seq.LiveInstrs() != par.LiveInstrs() {
+		t.Fatalf("live instrs diverge: sequential %d, parallel %d", seq.LiveInstrs(), par.LiveInstrs())
+	}
+
+	if p := seq.ShardProfile(); p.Runs != 0 {
+		t.Fatalf("sequential session recorded %d parallel runs", p.Runs)
+	}
+	p := par.ShardProfile()
+	if p.Runs != 1 {
+		t.Fatalf("parallel session recorded %d runs, want 1", p.Runs)
+	}
+	for _, u := range []ShardUsage{p.Up, p.Down} {
+		if u.Epochs == 0 || u.WallNS <= 0 {
+			t.Fatalf("empty shard usage: %+v", u)
+		}
+		if sum := u.BusyNS + u.WaitNS + u.BarrierNS; sum != u.WallNS {
+			t.Fatalf("shard usage does not telescope: busy %d + wait %d + barrier %d != wall %d",
+				u.BusyNS, u.WaitNS, u.BarrierNS, u.WallNS)
+		}
+	}
+	fig, err := par.ShardReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Render() == "" {
+		t.Fatal("empty shard report")
+	}
+	if _, err := seq.ShardReport(); err == nil {
+		t.Fatal("ShardReport on a sequential session should error")
+	}
+}
+
+// TestInstrHorizonEstimates sanity-checks the ETA denominators: known
+// figures scale with the session's workload lists and quota; static
+// tables are free; design runs count baseline + design.
+func TestInstrHorizonEstimates(t *testing.T) {
+	cfg := tinyConfig()
+	s := NewSession(cfg)
+	s.Benchmarks = []string{"mcf", "lbm"}
+	s.Mixes = []string{"M1"}
+	q := cfg.InstrPerCore
+	cases := map[string]uint64{
+		"table2": 0,
+		"7a":     2 * 6 * q,
+		"7b":     2 * 1 * q,
+		"7d":     1 * 6 * 4 * q,
+		"power":  2 * 5 * q,
+	}
+	for name, want := range cases {
+		if got := s.InstrHorizon(name); got != want {
+			t.Errorf("InstrHorizon(%q) = %d, want %d", name, got, want)
+		}
+	}
+	if got, want := s.DesignInstrHorizon(core.Standard, []string{"mcf"}), q; got != want {
+		t.Errorf("DesignInstrHorizon(standard) = %d, want %d", got, want)
+	}
+	if got, want := s.DesignInstrHorizon(core.DAS, []string{"mcf", "lbm"}), 2*2*q; got != want {
+		t.Errorf("DesignInstrHorizon(das) = %d, want %d", got, want)
+	}
+}

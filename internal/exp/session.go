@@ -59,6 +59,16 @@ type Session struct {
 	// far fewer events), so instr/s is the benchmark throughput metric
 	// that stays comparable across engine rewrites.
 	instrs atomic.Uint64
+
+	// live is the streaming-progress view of the same totals, advanced
+	// while runs are in flight (see progress.go). events/instrs above
+	// keep their end-of-run semantics; live serves watchdogs and SSE.
+	live liveProgress
+
+	// parProf aggregates the parallel engine's per-shard occupancy
+	// profiles across this session's runs (see progress.go).
+	parMu   sync.Mutex
+	parProf ParProfile
 }
 
 type resultEntry struct {
@@ -154,9 +164,11 @@ func (s *Session) Baseline(benchmarks []string) (*Result, error) {
 		}
 		obs := newObserver(resultKey(cfg, core.Standard, benchmarks), cfg.Seed, s.Observe)
 		sys.AttachObserver(obs)
+		sys.attachLive(&s.live)
 		e.res, e.err = sys.RunContext(s.context())
 		if e.err == nil {
 			s.observers.add(obs)
+			s.foldPar(sys)
 		}
 		s.countRun(e.res)
 	})
@@ -211,9 +223,11 @@ func (s *Session) Run(cfg config.Config, design core.Design, benchmarks []string
 	}
 	obs := newObserver(resultKey(cfg, design, benchmarks), cfg.Seed, s.Observe)
 	sys.AttachObserver(obs)
+	sys.attachLive(&s.live)
 	res, err := sys.RunContext(s.context())
 	if err == nil {
 		s.observers.add(obs)
+		s.foldPar(sys)
 	}
 	s.countRun(res)
 	return res, err

@@ -45,6 +45,13 @@ type System struct {
 	// obs is this run's telemetry bundle (nil = off; see AttachObserver).
 	obs *Observer
 
+	// live, when non-nil, is the owning session's streaming-progress
+	// accumulator; lastLiveEv/lastLiveIn are this system's
+	// already-folded totals (see progress.go).
+	live       *liveProgress
+	lastLiveEv uint64
+	lastLiveIn uint64
+
 	// Per-core counter snapshots: [core][0]=at warm-up, [1]=at quota.
 	missSnap [][2]uint64
 	promSnap [][2]uint64
@@ -336,6 +343,7 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	if err := s.Mgr.Err(); err != nil {
 		return nil, fmt.Errorf("exp: manager failed: %w", err)
 	}
+	s.syncLive(s.Eng.Now())
 	s.obs.finish(int64(s.Eng.Now()))
 	return s.collect(), nil
 }
@@ -346,6 +354,7 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 // runs, at every full epoch barrier (both shards quiescent, so reading
 // any simulation state is safe).
 func (s *System) observe(ctx context.Context, now sim.Time, wd *sim.Watchdog, limit sim.Time) error {
+	s.syncLive(now)
 	s.obs.maybeSnap(int64(now))
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("exp: run cancelled at t=%.0f ns: %w", now.NS(), context.Cause(ctx))

@@ -21,6 +21,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/telemetry/jobtrace"
 	"repro/internal/workload"
 )
 
@@ -60,6 +61,26 @@ type Job struct {
 	// Hash is the 64-bit FNV-1a of Key: the job's compact identity for
 	// logs, the X-Key response header and the ETag.
 	Hash uint64
+
+	// Prog and Trace are runtime attachments, not identity: the server
+	// wires them on admission (Prog carries live counters to SSE
+	// subscribers, Trace is the job's lifecycle span) and the runner
+	// feeds them. Both are nil-safe throughout, so runners invoked
+	// outside the server need no guards.
+	Prog  *Progress      `json:"-"`
+	Trace *jobtrace.Span `json:"-"`
+}
+
+// KeyHex is the job's compact identity as rendered in the X-Key header,
+// the ETag, logs, and the /jobs/<key> URL path.
+func (j *Job) KeyHex() string { return fmt.Sprintf("%016x", j.Hash) }
+
+// KindString names the work: the figure name, or "design:<name>".
+func (j *Job) KindString() string {
+	if j.HasDesign {
+		return "design:" + j.Design.String()
+	}
+	return j.Figure
 }
 
 // Canonicalize validates req against base (the server's default
@@ -124,12 +145,8 @@ func Canonicalize(req Request, base config.Config) (*Job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("config: %w", err)
 	}
-	kind := j.Figure
-	if j.HasDesign {
-		kind = "design:" + j.Design.String()
-	}
 	j.Key = fmt.Sprintf("%s|b=%s|m=%s|%s",
-		kind, strings.Join(j.Benchmarks, ","), strings.Join(j.Mixes, ","), cfgJSON)
+		j.KindString(), strings.Join(j.Benchmarks, ","), strings.Join(j.Mixes, ","), cfgJSON)
 	h := fnv.New64a()
 	h.Write([]byte(j.Key))
 	j.Hash = h.Sum64()

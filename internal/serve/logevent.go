@@ -1,0 +1,44 @@
+package serve
+
+import "time"
+
+// LogEvent is one job transition, emitted to Options.Log when set. The
+// dasserve -log-json flag marshals these as one JSON object per line;
+// the legacy Logf path keeps its historical free-text formats for the
+// terminal transitions only (done, failed, shed), so plain-text logs do
+// not get noisier.
+//
+// Events, in lifecycle order: "admitted" (a fresh job entered the
+// queue), "start" (a worker dequeued it), then exactly one of "done",
+// "failed", "shed". Cache hits and coalesced waits never run, so they
+// produce no events — they are visible in /metrics and /jobs instead.
+type LogEvent struct {
+	Event   string  `json:"event"`
+	Key     string  `json:"key"` // %016x canonical key hash
+	Kind    string  `json:"kind,omitempty"`
+	QueueMS float64 `json:"queue_ms,omitempty"`
+	RunMS   float64 `json:"run_ms,omitempty"`
+	Bytes   int     `json:"bytes,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// emit routes one transition to the structured sink when configured,
+// else falls back to Logf with the historical line formats.
+func (s *Server) emit(ev LogEvent) {
+	if s.opt.Log != nil {
+		s.opt.Log(ev)
+		return
+	}
+	switch ev.Event {
+	case "done":
+		s.logf("job %s done in %v (queued %v, %d bytes)", ev.Key,
+			time.Duration(ev.RunMS*float64(time.Millisecond)).Round(time.Millisecond),
+			time.Duration(ev.QueueMS*float64(time.Millisecond)).Round(time.Millisecond), ev.Bytes)
+	case "failed":
+		s.logf("job %s failed after %v (queued %v): %s", ev.Key,
+			time.Duration(ev.RunMS*float64(time.Millisecond)).Round(time.Millisecond),
+			time.Duration(ev.QueueMS*float64(time.Millisecond)).Round(time.Millisecond), ev.Error)
+	case "shed":
+		s.logf("shed %s (queue full)", ev.Key)
+	}
+}

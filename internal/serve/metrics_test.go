@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func scrape(t *testing.T, ts *httptest.Server) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestMetricsEndpointValidAndDeterministic pins the exposition
+// contract end to end: the live endpoint passes the self-contained
+// validator, repeated scrapes of an idle server are byte-identical, and
+// the serve instruments appear under their sanitized names.
+func TestMetricsEndpointValidAndDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Runner: func(ctx context.Context, spec *Job) ([]byte, error) {
+			return []byte("ok"), nil
+		},
+	})
+	postRun(t, ts, `{"figure": "table2"}`)
+	postRun(t, ts, `{"figure": "table2"}`) // hit
+
+	first := scrape(t, ts)
+	if err := telemetry.ValidateExposition(first); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, first)
+	}
+	second := scrape(t, ts)
+	if string(first) != string(second) {
+		t.Fatalf("idle scrapes differ:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+	for _, want := range []string{
+		"# TYPE serve_jobs_done counter",
+		"# TYPE serve_jobs_running gauge",
+		"# TYPE serve_queue_wait_us histogram",
+		`serve_queue_wait_us_bucket{le="+Inf"} 1`,
+		"serve_cache_hits 1",
+		"serve_jobtrace_violations 0",
+	} {
+		if !strings.Contains(string(first), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestJobsQuantiles pins the /jobs satellite: the document carries
+// deterministic latency quantiles for both service histograms.
+func TestJobsQuantiles(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Runner: func(ctx context.Context, spec *Job) ([]byte, error) {
+			return []byte("ok"), nil
+		},
+	})
+	postRun(t, ts, `{"figure": "table2"}`)
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Quantiles map[string]map[string]float64 `json:"quantiles"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"serve.queue.wait_us", "serve.job.run_us"} {
+		q, ok := out.Quantiles[name]
+		if !ok {
+			t.Fatalf("/jobs missing quantiles for %s", name)
+		}
+		for _, p := range []string{"p50", "p90", "p95", "p99"} {
+			if _, ok := q[p]; !ok {
+				t.Fatalf("%s missing %s", name, p)
+			}
+		}
+		if q["p50"] > q["p99"] {
+			t.Fatalf("%s: p50 %v > p99 %v", name, q["p50"], q["p99"])
+		}
+	}
+}
+
+// TestJobsTraceEndpoint pins the Perfetto export: valid JSON with the
+// process-name metadata and one enclosing slice per completed job.
+func TestJobsTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Runner: func(ctx context.Context, spec *Job) ([]byte, error) {
+			return []byte("ok"), nil
+		},
+	})
+	postRun(t, ts, `{"figure": "table2"}`)
+	resp, err := http.Get(ts.URL + "/jobs/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var evs []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		t.Fatal(err)
+	}
+	var slices int
+	for _, e := range evs {
+		if e["ph"] == "X" && e["args"] != nil {
+			slices++
+		}
+	}
+	if slices == 0 {
+		t.Fatalf("trace has no job slices: %v", evs)
+	}
+}

@@ -28,6 +28,16 @@ func simRunner(window time.Duration) Runner {
 		if len(spec.Mixes) > 0 {
 			sess.Mixes = spec.Mixes
 		}
+		// Expose the session's live counters to SSE subscribers, with the
+		// figure's estimated instruction horizon as the ETA denominator.
+		// Horizons depend on the workload lists, so bind after setting them.
+		var horizon uint64
+		if spec.HasDesign {
+			horizon = sess.DesignInstrHorizon(spec.Design, spec.Benchmarks)
+		} else {
+			horizon = sess.InstrHorizon(spec.Figure)
+		}
+		spec.Prog.Bind(sess, horizon)
 		if window > 0 {
 			stop := watchSession(sess, window, cancel)
 			defer close(stop)
@@ -42,24 +52,27 @@ func simRunner(window time.Duration) Runner {
 		if err != nil {
 			return nil, err
 		}
+		spec.Trace.StampRun() // simulation over; what follows is rendering
 		return []byte(fig.Render()), nil
 	}
 }
 
-// watchSession arms a sim.Watchdog over the session's event counter,
-// driven by wall-clock time: if no engine events execute for a full
-// window while the job runs, the job context is cancelled with a
-// structured "stalled" cause. Progress also counts retired
-// instructions so the profiling prepass of static designs (which
-// retires no engine events) does not trip it; the window must still
-// comfortably exceed that prepass. The returned channel stops the
-// watcher when closed.
+// watchSession arms a sim.Watchdog over the session's live progress
+// counters, driven by wall-clock time: if no engine events execute and
+// no instructions retire for a full window while the job runs, the job
+// context is cancelled with a structured "stalled" cause. The live
+// counters advance at the observation stride, mid-run — so a healthy
+// long run can never be mistaken for a stall the way the old
+// end-of-run counters allowed. The profiling prepass of static designs
+// retires no engine events and stays invisible; the window must still
+// comfortably exceed it. The returned channel stops the watcher when
+// closed.
 func watchSession(sess *exp.Session, window time.Duration, cancel context.CancelCauseFunc) chan struct{} {
 	stop := make(chan struct{})
 	wd := sim.NewWatchdog(
 		sim.FromNS(float64(window.Nanoseconds())),
 		func() int { return 1 }, // the job is always "outstanding" while it runs
-		func() uint64 { return sess.EventsExecuted() + sess.InstrsRetired() },
+		func() uint64 { return sess.LiveEvents() + sess.LiveInstrs() },
 		nil,
 	)
 	start := time.Now()

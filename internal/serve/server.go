@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/jobtrace"
 )
 
 // Runner executes one canonicalized job and returns the response body.
@@ -52,6 +53,15 @@ type Options struct {
 	// Logf, when non-nil, receives one line per admitted job completion
 	// and per shed/panic event.
 	Logf func(format string, args ...any)
+	// Log, when non-nil, receives one structured LogEvent per job
+	// transition and supersedes Logf (dasserve -log-json).
+	Log func(LogEvent)
+	// ProgressInterval is the SSE frame period of /jobs/<key>/events
+	// (0 = DefaultProgressInterval).
+	ProgressInterval time.Duration
+	// JobTraceDepth bounds the completed lifecycle-span ring
+	// (0 = jobtrace.DefaultDepth).
+	JobTraceDepth int
 }
 
 // Defaults for the zero Options values.
@@ -86,8 +96,14 @@ type Server struct {
 	cMisses    *telemetry.Counter // requests that started a fresh job
 	gQueued    *telemetry.Gauge   // jobs waiting in the queue
 	gRunning   *telemetry.Gauge   // jobs executing on workers
+	gSSE       *telemetry.Gauge   // open progress streams
+	cFrames    *telemetry.Counter // SSE frames written
 	hQueueWait *telemetry.Histogram
 	hRun       *telemetry.Histogram
+
+	// jt records per-job lifecycle spans (internally locked, so it lives
+	// outside both mutex domains).
+	jt *jobtrace.Recorder
 
 	// mu guards admission state: the cache map, the queue send, and the
 	// draining flag. Holding it across the queue send is what makes
@@ -96,6 +112,7 @@ type Server struct {
 	mu       sync.Mutex
 	draining bool
 	cache    map[string]*entry
+	byHash   map[uint64]*entry // cache mirror for /jobs/<key>/events URLs
 	queue    chan *job
 
 	// jobCtx parents every job context; jobCancel fires at the drain
@@ -115,6 +132,7 @@ type entry struct {
 	body []byte
 	err  *Error
 	hash uint64
+	prog *Progress // live progress for SSE subscribers; never nil for admitted jobs
 }
 
 type job struct {
@@ -148,7 +166,9 @@ func New(opt Options) *Server {
 		opt:    opt,
 		runner: opt.Runner,
 		reg:    telemetry.New(),
+		jt:     jobtrace.NewRecorder(opt.JobTraceDepth),
 		cache:  make(map[string]*entry),
+		byHash: make(map[uint64]*entry),
 		queue:  make(chan *job, opt.QueueDepth),
 	}
 	if s.runner == nil {
@@ -165,8 +185,13 @@ func New(opt Options) *Server {
 	s.cMisses = s.reg.Counter("serve.cache.misses")
 	s.gQueued = s.reg.Gauge("serve.jobs.queued")
 	s.gRunning = s.reg.Gauge("serve.jobs.running")
+	s.gSSE = s.reg.Gauge("serve.sse.subscribers")
+	s.cFrames = s.reg.Counter("serve.sse.frames")
 	s.hQueueWait = s.reg.Histogram("serve.queue.wait_us")
 	s.hRun = s.reg.Histogram("serve.job.run_us")
+	// The recorder is internally locked, so sampling it from under tmu
+	// during snapshots/scrapes is safe.
+	s.reg.Sample("serve.jobtrace.violations", func() int64 { return int64(s.jt.Violations()) })
 	s.jobCtx, s.jobCancel = context.WithCancelCause(context.Background())
 	for i := 0; i < opt.Workers; i++ {
 		s.wg.Add(1)
@@ -209,22 +234,28 @@ func (s *Server) submit(spec *Job) (*entry, string, *Error) {
 			return e, "coalesced", nil
 		}
 	}
-	e := &entry{done: make(chan struct{}), hash: spec.Hash}
+	e := &entry{done: make(chan struct{}), hash: spec.Hash, prog: newProgress()}
+	spec.Prog = e.prog
+	// Admission is decided before the queue send so the span's queue
+	// phase cannot start after a worker has already stamped dequeue.
+	spec.Trace.StampAdmit()
 	jb := &job{spec: spec, e: e, enqueued: time.Now()}
 	select {
 	case s.queue <- jb:
 		s.cache[spec.Key] = e
+		s.byHash[spec.Hash] = e
 		s.mu.Unlock()
 		s.tmu.Lock()
 		s.cMisses.Inc()
 		s.cAdmitted.Inc()
 		s.gQueued.Add(1)
 		s.tmu.Unlock()
+		s.emit(LogEvent{Event: "admitted", Key: spec.KeyHex(), Kind: spec.KindString()})
 		return e, "miss", nil
 	default:
 		s.mu.Unlock()
 		s.count(s.cShed)
-		s.logf("shed %016x (queue full)", spec.Hash)
+		s.emit(LogEvent{Event: "shed", Key: spec.KeyHex(), Kind: spec.KindString()})
 		retry := int((s.opt.RetryAfter + time.Second - 1) / time.Second)
 		return nil, "", &Error{Status: http.StatusTooManyRequests, Kind: KindShed,
 			Msg:           fmt.Sprintf("admission queue full (%d jobs); retry later", s.opt.QueueDepth),
@@ -250,11 +281,15 @@ func (s *Server) worker() {
 // structured failure mapping, then resolves its entry.
 func (s *Server) execute(jb *job) {
 	wait := time.Since(jb.enqueued)
+	jb.spec.Trace.StampStart()
+	jb.e.prog.setState(stateRunning)
 	s.tmu.Lock()
 	s.gQueued.Add(-1)
 	s.gRunning.Add(1)
 	s.hQueueWait.Observe(uint64(wait.Microseconds()))
 	s.tmu.Unlock()
+	s.emit(LogEvent{Event: "start", Key: jb.spec.KeyHex(), Kind: jb.spec.KindString(),
+		QueueMS: float64(wait.Nanoseconds()) / 1e6})
 
 	ctx := s.jobCtx
 	var cancel context.CancelFunc
@@ -274,11 +309,23 @@ func (s *Server) execute(jb *job) {
 	if err != nil {
 		se = asError(err)
 	}
+	// State and span resolve before done closes: a subscriber woken by
+	// the close observes the terminal state (channel close is the
+	// happens-before edge).
+	outcome := "done"
+	if se != nil {
+		outcome = "failed"
+		jb.e.prog.setState(stateFailed)
+	} else {
+		jb.e.prog.setState(stateDone)
+	}
+	jb.spec.Trace.Finish(outcome, len(body))
 	s.mu.Lock()
 	jb.e.body, jb.e.err = body, se
 	if se != nil {
 		// Never cache failures: the next identical request retries.
 		delete(s.cache, jb.spec.Key)
+		delete(s.byHash, jb.spec.Hash)
 	}
 	close(jb.e.done)
 	s.mu.Unlock()
@@ -298,11 +345,13 @@ func (s *Server) execute(jb *job) {
 		}
 	}
 	s.tmu.Unlock()
+	ev := LogEvent{Event: outcome, Key: jb.spec.KeyHex(), Kind: jb.spec.KindString(),
+		QueueMS: float64(wait.Nanoseconds()) / 1e6, RunMS: float64(elapsed.Nanoseconds()) / 1e6,
+		Bytes: len(jb.e.body)}
 	if se != nil {
-		s.logf("job %016x failed after %v (queued %v): %s", jb.spec.Hash, elapsed.Round(time.Millisecond), wait.Round(time.Millisecond), se.Error())
-	} else {
-		s.logf("job %016x done in %v (queued %v, %d bytes)", jb.spec.Hash, elapsed.Round(time.Millisecond), wait.Round(time.Millisecond), len(jb.e.body))
+		ev.Error = se.Error()
 	}
+	s.emit(ev)
 }
 
 // runIsolated invokes the runner behind a recover barrier: a panicking
@@ -347,8 +396,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Handler returns the service mux: POST /run, GET /healthz, /readyz,
-// /jobs.
+// Handler returns the service mux: POST /run, POST /key, GET /healthz,
+// /readyz, /jobs, /jobs/<key>[/events], /jobs/trace and /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
@@ -363,8 +412,11 @@ func (s *Server) Handler() http.Handler {
 		io.WriteString(w, "ready\n")
 	})
 	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJobsPath)
+	mux.HandleFunc("/key", s.handleKey)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
-		io.WriteString(w, "dasserve\n  POST /run    {figure|design, benchmarks, mixes, config}\n  GET  /healthz\n  GET  /readyz\n  GET  /jobs\n")
+		io.WriteString(w, "dasserve\n  POST /run                 {figure|design, benchmarks, mixes, config}\n  POST /key                 canonicalize only; returns {key, kind}\n  GET  /healthz\n  GET  /readyz\n  GET  /jobs                pool state, metrics, latency quantiles\n  GET  /jobs/<key>          lifecycle span (canonicalize/probe/queue/run/render)\n  GET  /jobs/<key>/events   SSE progress stream\n  GET  /jobs/trace          completed spans as Perfetto trace JSON\n  GET  /metrics             Prometheus text exposition\n")
 	})
 	return mux
 }
@@ -373,29 +425,48 @@ func (s *Server) Handler() http.Handler {
 const maxRequestBytes = 1 << 20
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	sp := s.jt.Begin()
 	if r.Method != http.MethodPost {
+		sp.Drop()
 		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Kind: KindBadRequest, Msg: "POST a JSON request to /run"})
 		return
 	}
 	raw, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
 	if err != nil {
+		sp.Drop()
 		writeError(w, &Error{Status: http.StatusBadRequest, Kind: KindBadRequest, Msg: err.Error()})
 		return
 	}
 	var req Request
 	if err := json.Unmarshal(raw, &req); err != nil {
+		sp.Drop()
 		writeError(w, &Error{Status: http.StatusBadRequest, Kind: KindBadRequest, Msg: fmt.Sprintf("request: %v", err)})
 		return
 	}
 	spec, err := Canonicalize(req, s.opt.Base)
 	if err != nil {
+		sp.Drop()
 		writeError(w, &Error{Status: http.StatusBadRequest, Kind: KindBadRequest, Msg: err.Error()})
 		return
 	}
+	sp.StampCanon(spec.KeyHex(), spec.KindString())
+	spec.Trace = sp
 	e, disp, serr := s.submit(spec)
 	if serr != nil {
+		sp.Finish(serr.Kind, 0)
 		writeError(w, serr)
 		return
+	}
+	if disp == "miss" {
+		// The span now belongs to the job: the worker stamps dequeue and
+		// completion, the runner stamps run-end. This handler must not
+		// touch it again.
+		sp = nil
+	} else {
+		// Hit/coalesced: this request never queues; its span measures the
+		// wait on the owning flight instead.
+		sp.StampAdmit()
+		sp.StampStart()
 	}
 	select {
 	case <-e.done:
@@ -403,12 +474,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// The client gave up; the job keeps running for its other
 		// waiters and the cache (results are deterministic — the work is
 		// never wasted).
+		sp.Drop()
 		return
 	}
+	sp.StampRun()
 	if e.err != nil {
+		sp.Finish("failed", 0)
 		writeError(w, e.err)
 		return
 	}
+	sp.Finish(disp, len(e.body))
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("X-Cache", disp)
 	w.Header().Set("X-Key", fmt.Sprintf("%016x", e.hash))
@@ -433,19 +508,37 @@ type jobsJSON struct {
 	// simulation. Zero until the first request.
 	CacheHitRatio float64            `json:"cache_hit_ratio"`
 	Metrics       map[string]float64 `json:"metrics"`
+	// Quantiles holds p50/p90/p95/p99 per latency histogram (µs, bucket
+	// upper bounds). Map keys render sorted, so the document is
+	// deterministic for a given state.
+	Quantiles map[string]map[string]float64 `json:"quantiles"`
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	snap := s.Snapshot()
 	out := jobsJSON{
-		Draining: s.Draining(),
-		Workers:  s.opt.Workers,
-		QueueCap: s.opt.QueueDepth,
-		Metrics:  make(map[string]float64, len(snap)),
+		Draining:  s.Draining(),
+		Workers:   s.opt.Workers,
+		QueueCap:  s.opt.QueueDepth,
+		Metrics:   make(map[string]float64, len(snap)),
+		Quantiles: make(map[string]map[string]float64, 2),
 	}
 	for _, m := range snap {
 		out.Metrics[m.Name] = m.Value
 	}
+	s.tmu.Lock()
+	for _, h := range []struct {
+		name string
+		h    *telemetry.Histogram
+	}{{"serve.queue.wait_us", s.hQueueWait}, {"serve.job.run_us", s.hRun}} {
+		out.Quantiles[h.name] = map[string]float64{
+			"p50": float64(h.h.Quantile(0.50)),
+			"p90": float64(h.h.Quantile(0.90)),
+			"p95": float64(h.h.Quantile(0.95)),
+			"p99": float64(h.h.Quantile(0.99)),
+		}
+	}
+	s.tmu.Unlock()
 	hits := out.Metrics["serve.cache.hits"] + out.Metrics["serve.cache.coalesced"]
 	if total := hits + out.Metrics["serve.cache.misses"]; total > 0 {
 		out.CacheHitRatio = hits / total

@@ -51,6 +51,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // timeMax is an effectively infinite epoch bound.
@@ -225,13 +226,57 @@ func beforeCut(at Time, key uint64, c *cutPoint) bool {
 	return key < c.key
 }
 
+// MboxDepthBuckets is the mailbox-depth histogram size in ShardProf:
+// depth d increments Mbox[min(d, MboxDepthBuckets-1)]. The channels are
+// cap-2, so bucket 2 means "peer a full pipeline stage behind" and the
+// last bucket absorbs any future capacity change.
+const MboxDepthBuckets = 4
+
+// ShardProf is one shard's wall-clock occupancy profile, accumulated at
+// epoch granularity (never per event). The three occupancy buckets
+// telescope — every nanosecond of the shard's wall time is attributed
+// to exactly one of them — so BusyNS+WaitNS+BarrierNS == WallNS holds
+// exactly, the same components-sum-to-total invariant reqtrace and
+// jobtrace enforce:
+//
+//   - BusyNS: executing events and merging inboxes (runEpoch + accept).
+//   - WaitNS: blocked on the peer's mailbox (epoch sends and receives)
+//     — the pipeline-stall component.
+//   - BarrierNS: the up shard's full-barrier drains every checkEvery
+//     epochs, including the check callback itself (watchdog, observer
+//     snapshots). Always 0 on the down shard, which never barriers.
+//
+// Mbox counts outbound mailbox depth observed just before each epoch
+// send: a mostly-0 profile means the peer is keeping up, a mostly-2
+// (full) profile means this shard is the producer side of the stall.
+type ShardProf struct {
+	BusyNS    int64
+	WaitNS    int64
+	BarrierNS int64
+	WallNS    int64
+	Epochs    uint64
+	Mbox      [MboxDepthBuckets]uint64
+}
+
+// profTimer telescopes wall time into ShardProf buckets: every lap
+// attributes the segment since the previous mark to one bucket, so no
+// time is ever dropped or double-counted.
+type profTimer struct{ mark time.Time }
+
+func (t *profTimer) lap(bucket *int64) {
+	now := time.Now()
+	*bucket += int64(now.Sub(t.mark))
+	t.mark = now
+}
+
 // ParEngine couples two engine shards under the conservative epoch
 // protocol. Build one with NewParEngine, wire components to the two
 // shards' engines, route cross-domain calls through PostSync/PostCall,
 // then drive the whole machine with Run.
 type ParEngine struct {
-	win Time
-	sh  [2]*Shard
+	win  Time
+	sh   [2]*Shard
+	prof [2]ShardProf
 }
 
 // NewParEngine couples up (processor side) and down (memory side) under
@@ -262,6 +307,12 @@ func (pe *ParEngine) Executed() uint64 {
 	return pe.sh[0].eng.Executed() + pe.sh[1].eng.Executed()
 }
 
+// Prof returns shard i's accumulated occupancy profile (0 = up,
+// 1 = down). Safe after Run returns, or — for the down shard — inside a
+// check callback (the barrier's channel receive orders its writes
+// before the callback).
+func (pe *ParEngine) Prof(i int) ShardProf { return pe.prof[i] }
+
 // Run drives both shards to completion. The caller's goroutine runs the
 // up shard; the down shard runs on its own goroutine, one epoch behind.
 //
@@ -285,22 +336,36 @@ func (pe *ParEngine) Run(stop func() bool, check func(now Time) error, checkEver
 	up, down := pe.sh[0], pe.sh[1]
 	toDown := make(chan batch, 2)
 	toUp := make(chan batch, 2)
+	upProf, downProf := &pe.prof[0], &pe.prof[1]
+	upStart := time.Now()
+	upT := profTimer{mark: upStart}
 	go func() {
+		downStart := time.Now()
+		downT := profTimer{mark: downStart}
 		for b := range toDown {
+			downT.lap(&downProf.WaitNS) // blocked receiving the epoch batch
 			down.accept(b.msgs)
 			if b.cut != nil {
 				down.runEpoch(timeMax, b.cut, nil)
 			} else {
 				down.runEpoch(Time(b.epoch+1)*pe.win, nil, nil)
 			}
+			downT.lap(&downProf.BusyNS)
+			downProf.Epochs++
+			downProf.Mbox[minDepth(len(toUp))]++
 			toUp <- batch{epoch: b.epoch, msgs: down.takeOut()}
+			downT.lap(&downProf.WaitNS) // send-side backpressure
 		}
+		downT.lap(&downProf.WaitNS) // close detection
+		downProf.WallNS += int64(downT.mark.Sub(downStart))
 		close(toUp)
 	}()
 	finish := func() {
 		close(toDown)
 		for range toUp { // release the worker; undelivered messages never fire
 		}
+		upT.lap(&upProf.BarrierNS) // final drain is barrier time
+		upProf.WallNS += int64(upT.mark.Sub(upStart))
 	}
 	recvd := int64(-1) // highest down epoch merged into the up shard
 	for epoch := int64(0); ; epoch++ {
@@ -311,13 +376,19 @@ func (pe *ParEngine) Run(stop func() bool, check func(now Time) error, checkEver
 			up.accept(b.msgs)
 			recvd = b.epoch
 		}
+		upT.lap(&upProf.WaitNS) // blocked on down(k-2) completion
 		stopped, cut := up.runEpoch(Time(epoch+1)*pe.win, nil, stop)
+		upT.lap(&upProf.BusyNS)
+		upProf.Epochs++
+		upProf.Mbox[minDepth(len(toDown))]++
 		if stopped {
 			toDown <- batch{epoch: epoch, msgs: up.takeOut(), cut: &cut}
+			upT.lap(&upProf.WaitNS)
 			finish()
 			return true, nil
 		}
 		toDown <- batch{epoch: epoch, msgs: up.takeOut()}
+		upT.lap(&upProf.WaitNS) // send-side backpressure
 		if (epoch+1)%checkEvery != 0 {
 			continue
 		}
@@ -331,11 +402,13 @@ func (pe *ParEngine) Run(stop func() bool, check func(now Time) error, checkEver
 		}
 		if check != nil {
 			if err := check(up.eng.now); err != nil {
+				upT.lap(&upProf.BarrierNS)
 				finish()
 				return false, err
 			}
 		}
 		if up.idle() && down.idle() {
+			upT.lap(&upProf.BarrierNS)
 			finish()
 			return false, nil
 		}
@@ -356,5 +429,14 @@ func (pe *ParEngine) Run(stop func() bool, check func(now Time) error, checkEver
 			epoch = e - 1
 			recvd = epoch - 1
 		}
+		upT.lap(&upProf.BarrierNS) // barrier drain + check + idle-skip
 	}
+}
+
+// minDepth clamps a mailbox depth into the ShardProf histogram.
+func minDepth(d int) int {
+	if d >= MboxDepthBuckets {
+		return MboxDepthBuckets - 1
+	}
+	return d
 }

@@ -291,3 +291,46 @@ func FuzzEpochBarrier(f *testing.F) {
 		}
 	})
 }
+
+// TestShardProfTelescopes pins the epoch profiler's accounting
+// invariant on both the run-to-drain and the stop-cut paths: each
+// shard's busy + wait + barrier time equals its wall time exactly (the
+// profiler laps one shared mark, so no nanosecond is dropped or
+// double-counted), the down shard never accrues barrier time, and every
+// epoch contributes exactly one mailbox-depth sample.
+func TestShardProfTelescopes(t *testing.T) {
+	for _, stopAfter := range []int{0, 7} {
+		h, pe := newParHarness(11, 3, 25, true)
+		h.start()
+		var stop func() bool
+		if stopAfter > 0 {
+			stop = func() bool { return h.completed >= stopAfter }
+		}
+		if _, err := pe.Run(stop, nil, 4); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			p := pe.Prof(i)
+			if p.Epochs == 0 {
+				t.Fatalf("stopAfter %d shard %d: no epochs recorded", stopAfter, i)
+			}
+			if p.WallNS <= 0 {
+				t.Fatalf("stopAfter %d shard %d: non-positive wall time %d", stopAfter, i, p.WallNS)
+			}
+			if sum := p.BusyNS + p.WaitNS + p.BarrierNS; sum != p.WallNS {
+				t.Fatalf("stopAfter %d shard %d: busy %d + wait %d + barrier %d = %d != wall %d",
+					stopAfter, i, p.BusyNS, p.WaitNS, p.BarrierNS, sum, p.WallNS)
+			}
+			var mbox uint64
+			for _, c := range p.Mbox {
+				mbox += c
+			}
+			if mbox != p.Epochs {
+				t.Fatalf("stopAfter %d shard %d: %d mailbox samples for %d epochs", stopAfter, i, mbox, p.Epochs)
+			}
+		}
+		if b := pe.Prof(1).BarrierNS; b != 0 {
+			t.Fatalf("stopAfter %d: down shard accrued barrier time %d (it never barriers)", stopAfter, b)
+		}
+	}
+}

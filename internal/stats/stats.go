@@ -74,6 +74,27 @@ func Mean(xs []float64) float64 {
 // Percent formats a fraction as a percentage string.
 func Percent(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
 
+// Percentile returns the q-quantile (0 <= q <= 1) of xs by the
+// nearest-rank method on a sorted copy: the smallest element such that
+// at least q of the sample is <= it. Nearest rank returns an actual
+// observation (no interpolation), so p99 of a latency sample is a
+// latency that really occurred. An empty sample yields 0; q is clamped.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
 // Dist is a three-way access-location distribution (Figures 7c/7f/8b).
 type Dist struct {
 	RowBuffer, Fast, Slow uint64

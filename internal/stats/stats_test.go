@@ -156,3 +156,31 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3} // unsorted on purpose; input must not be mutated
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 3}, {0.8, 4}, {0.95, 5}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.q); got != c.want {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", xs, c.q, got, c.want)
+		}
+	}
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Fatalf("Percentile mutated its input: %v", xs)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-element p99 = %v, want 7", got)
+	}
+	// Nearest rank returns an actual observation.
+	if got := Percentile(xs, 0.73); got != 4 {
+		t.Errorf("p73 of 1..5 = %v, want 4 (ceil(0.73*5) = 4th)", got)
+	}
+}

@@ -1,0 +1,222 @@
+package jobtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic wall clock advancing by step per read.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func TestSpanTelescopes(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetClock(newFakeClock(time.Millisecond).Now)
+	sp := r.Begin()
+	sp.StampCanon("00000000deadbeef", "figure:7a")
+	sp.StampAdmit()
+	sp.StampStart()
+	sp.StampRun()
+	sp.Finish("done", 42)
+	if v := r.Violations(); v != 0 {
+		t.Fatalf("telescoping invariant violated %d times", v)
+	}
+	snap, ok := r.Lookup("00000000deadbeef")
+	if !ok {
+		t.Fatal("completed span not found by Lookup")
+	}
+	if snap.State != "done" || snap.Bytes != 42 || snap.Kind != "figure:7a" {
+		t.Fatalf("bad snapshot: %+v", snap)
+	}
+	sum := snap.CanonicalizeUS + snap.ProbeUS + snap.QueueUS + snap.RunUS + snap.RenderUS
+	if sum != snap.TotalUS {
+		t.Fatalf("phases sum %v != total %v", sum, snap.TotalUS)
+	}
+	// Each of the five stamped phases is exactly one fake-clock step.
+	for name, us := range map[string]float64{
+		"canonicalize": snap.CanonicalizeUS, "probe": snap.ProbeUS,
+		"queue": snap.QueueUS, "run": snap.RunUS, "render": snap.RenderUS,
+	} {
+		if us != 1000 {
+			t.Errorf("phase %s = %vus, want 1000us", name, us)
+		}
+	}
+}
+
+func TestUnsetStampsCollapse(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetClock(newFakeClock(time.Millisecond).Now)
+	// A cache hit: only canon and admit are ever stamped.
+	sp := r.Begin()
+	sp.StampCanon("k1", "figure:table2")
+	sp.StampAdmit()
+	sp.Finish("hit", 10)
+	if v := r.Violations(); v != 0 {
+		t.Fatalf("violations: %d", v)
+	}
+	snap, _ := r.Lookup("k1")
+	if snap.QueueUS != 0 || snap.RunUS != 0 {
+		t.Fatalf("unstamped phases should be zero-width: %+v", snap)
+	}
+	sum := snap.CanonicalizeUS + snap.ProbeUS + snap.QueueUS + snap.RunUS + snap.RenderUS
+	if sum != snap.TotalUS {
+		t.Fatalf("phases sum %v != total %v", sum, snap.TotalUS)
+	}
+}
+
+func TestLiveLookupAndStates(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetClock(newFakeClock(time.Millisecond).Now)
+	sp := r.Begin()
+	sp.StampCanon("k2", "design:das")
+	if snap, ok := r.Lookup("k2"); !ok || snap.State != "canonicalizing" {
+		t.Fatalf("want live canonicalizing span, got %+v ok=%v", snap, ok)
+	}
+	sp.StampAdmit()
+	if snap, _ := r.Lookup("k2"); snap.State != "queued" {
+		t.Fatalf("want queued, got %q", snap.State)
+	}
+	sp.StampStart()
+	if snap, _ := r.Lookup("k2"); snap.State != "running" {
+		t.Fatalf("want running, got %q", snap.State)
+	}
+	sp.StampRun()
+	if snap, _ := r.Lookup("k2"); snap.State != "rendering" {
+		t.Fatalf("want rendering, got %q", snap.State)
+	}
+	sp.Finish("done", 1)
+	if snap, _ := r.Lookup("k2"); snap.State != "done" {
+		t.Fatalf("want done, got %q", snap.State)
+	}
+}
+
+func TestRingBoundedAndOrdered(t *testing.T) {
+	r := NewRecorder(4)
+	r.SetClock(newFakeClock(time.Microsecond).Now)
+	for i := 0; i < 10; i++ {
+		sp := r.Begin()
+		sp.StampCanon("key", "figure:7a")
+		sp.Finish("done", i)
+	}
+	got := r.Completed()
+	if len(got) != 4 {
+		t.Fatalf("ring length %d, want 4", len(got))
+	}
+	for i, snap := range got {
+		if snap.Bytes != 6+i {
+			t.Fatalf("ring out of order: got bytes %d at %d", snap.Bytes, i)
+		}
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	sp := r.Begin()
+	sp.StampCanon("k", "x")
+	sp.StampAdmit()
+	sp.StampStart()
+	sp.StampRun()
+	sp.Finish("done", 0)
+	sp.Drop()
+	if _, ok := r.Lookup("k"); ok {
+		t.Fatal("nil recorder should find nothing")
+	}
+	if r.Completed() != nil || r.Violations() != 0 {
+		t.Fatal("nil recorder should be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.EncodeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "[]\n" {
+		t.Fatalf("nil trace = %q", buf.String())
+	}
+}
+
+func TestDropRemovesLive(t *testing.T) {
+	r := NewRecorder(4)
+	sp := r.Begin()
+	sp.StampCanon("k3", "figure:7a")
+	sp.Drop()
+	if _, ok := r.Lookup("k3"); ok {
+		t.Fatal("dropped span still visible")
+	}
+	if len(r.Completed()) != 0 {
+		t.Fatal("dropped span retired into ring")
+	}
+}
+
+func TestEncodeTraceValidJSON(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetClock(newFakeClock(time.Millisecond).Now)
+	for i := 0; i < 3; i++ {
+		sp := r.Begin()
+		sp.StampCanon("k", "figure:7a")
+		sp.StampAdmit()
+		sp.StampStart()
+		sp.StampRun()
+		sp.Finish("done", 100)
+	}
+	var buf bytes.Buffer
+	if err := r.EncodeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	var slices, meta int
+	for _, e := range evs {
+		switch e["ph"] {
+		case "X":
+			slices++
+		case "M":
+			meta++
+		}
+	}
+	// 3 jobs x (1 enclosing + 5 phase slices), 1 process + 3 thread metas.
+	if slices != 18 || meta != 4 {
+		t.Fatalf("got %d slices %d metadata events, want 18 and 4", slices, meta)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := r.Begin()
+			sp.StampCanon("shared", "figure:7a")
+			sp.StampAdmit()
+			sp.StampStart()
+			sp.StampRun()
+			sp.Finish("done", 1)
+		}()
+	}
+	wg.Wait()
+	if v := r.Violations(); v != 0 {
+		t.Fatalf("violations under concurrency: %d", v)
+	}
+	if got := len(r.Completed()); got != 16 {
+		t.Fatalf("completed %d spans, want 16", got)
+	}
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func promTestRegistry() *Registry {
+	r := New()
+	r.Counter("serve.jobs.done").Add(7)
+	r.Gauge("serve.jobs.running").Set(2)
+	r.Sample("sim.events_executed", func() int64 { return 12345 })
+	h := r.Histogram("serve.queue.wait_us")
+	for _, v := range []uint64{0, 1, 2, 5, 9, 17, 1000, 1_000_000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestEncodePrometheusDeterministicAndValid(t *testing.T) {
+	r := promTestRegistry()
+	var a, b bytes.Buffer
+	if err := EncodePrometheus(&a, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("repeated encodes differ:\n%s\n--\n%s", a.Bytes(), b.Bytes())
+	}
+	if err := ValidateExposition(a.Bytes()); err != nil {
+		t.Fatalf("encoder output rejected by validator: %v\n%s", err, a.Bytes())
+	}
+	out := a.String()
+	for _, want := range []string{
+		"# TYPE serve_jobs_done counter",
+		"# TYPE serve_jobs_running gauge",
+		"# TYPE sim_events_executed gauge",
+		"# TYPE serve_queue_wait_us histogram",
+		"serve_queue_wait_us_bucket{le=\"+Inf\"} 8",
+		"serve_queue_wait_us_count 8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEncodePrometheusNilAndMultiRegistry(t *testing.T) {
+	r1 := New()
+	r1.Counter("a.one").Inc()
+	r2 := New()
+	r2.Counter("b.two").Add(2)
+	var buf bytes.Buffer
+	if err := EncodePrometheus(&buf, nil, r2, nil, r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("multi-registry output invalid: %v\n%s", err, buf.Bytes())
+	}
+	// Families are sorted across registries regardless of argument order.
+	out := buf.String()
+	if strings.Index(out, "a_one") > strings.Index(out, "b_two") {
+		t.Fatalf("families not sorted across registries:\n%s", out)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"serve.queue.wait_us": "serve_queue_wait_us",
+		"par.up.busy_ns":      "par_up_busy_ns",
+		"9lives":              "_9lives",
+		"ok:name_1":           "ok:name_1",
+		"weird-chars now":     "weird_chars_now",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before HELP": "foo 1\n",
+		"TYPE without HELP":  "# TYPE foo counter\nfoo 1\n",
+		"unsorted families": "# HELP b b\n# TYPE b counter\nb 1\n" +
+			"# HELP a a\n# TYPE a counter\na 1\n",
+		"negative counter": "# HELP c c\n# TYPE c counter\nc -1\n",
+		"non-cumulative buckets": "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n",
+		"le not increasing": "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n",
+		"inf != count": "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+		"missing +Inf": "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"foreign sample in family": "# HELP a a\n# TYPE a gauge\nb 1\n",
+		"family with no samples":   "# HELP a a\n# TYPE a counter\n",
+	}
+	for name, data := range cases {
+		if err := ValidateExposition([]byte(data)); err == nil {
+			t.Errorf("%s: validator accepted invalid exposition:\n%s", name, data)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsEmpty(t *testing.T) {
+	if err := ValidateExposition(nil); err != nil {
+		t.Fatalf("empty exposition should be valid: %v", err)
+	}
+}

@@ -108,24 +108,43 @@ echo "== fault-sweep smoke (dasbench -fig faults)"
 # armed, in well under a minute.
 go run ./cmd/dasbench -fig faults -benchmarks mcf -instr 200000 >/dev/null
 
-echo "== server smoke (dasserve + dasload: dedup, cache exactness, drain)"
+echo "== parshard smoke (dasbench -parshard-report: epoch profiler)"
+# A two-shard run must produce the shard-occupancy report, and its
+# busy/wait/barrier columns must telescope exactly to wall per shard
+# (DESIGN.md §5.3, "Epoch profiler").
+go run ./cmd/dasbench -fig 7b -benchmarks mcf -instr 200000 \
+    -parallel 2 -parshard-report >"$tmp_sink.parshard"
+grep -q "Parallel-engine shard occupancy" "$tmp_sink.parshard"
+# Occupancy rows: shard (label)  busy_ns wait_ns barrier_ns wall_ns ...
+awk '/\(cores\/caches\/mgr\)|\(mc\/dram\)/ {
+        rows++; if ($6 + 0 == 0 || $3 + $4 + $5 != $6) bad = 1
+     }
+     END { exit (bad || rows != 2) }' "$tmp_sink.parshard" ||
+    { echo "parshard: busy+wait+barrier != wall"; exit 1; }
+rm -f "$tmp_sink.parshard"
+
+echo "== server smoke (dasserve + dasload: dedup, exactness, streaming, drain)"
 # Start dasserve on an ephemeral port, fire a duplicate-heavy dasload
 # burst, then assert the robustness contract end to end: at least one
 # request was served from the exact-result cache (-assert-hits against
-# /jobs), repeated requests return byte-identical bodies (-verify), and
-# SIGTERM drains cleanly (dasserve exits 0). The server binary is built
-# with the race detector so the smoke also covers the worker pool and
-# the parallel engine's shard goroutines under real HTTP traffic.
+# /jobs), repeated requests return byte-identical bodies (-verify), a
+# concurrent SSE subscription to a real job yields at least one
+# monotonic progress frame and closes cleanly (-follow), the live
+# /metrics endpoint passes the self-contained exposition validator
+# (-check-metrics), and SIGTERM drains cleanly (dasserve exits 0). The
+# server binary is built with the race detector so the smoke also
+# covers the worker pool, the SSE subscriber paths and the parallel
+# engine's shard goroutines under real HTTP traffic.
 go build -race -o "$tmp_sink.serve" ./cmd/dasserve
 go build -o "$tmp_sink.load" ./cmd/dasload
 rm -f "$tmp_sink.addr"
 "$tmp_sink.serve" -addr 127.0.0.1:0 -addr-file "$tmp_sink.addr" \
-    -instr 200000 -workers 2 2>/dev/null &
+    -instr 200000 -workers 2 -log-json 2>/dev/null &
 serve_pid=$!
 for _ in $(seq 100); do test -s "$tmp_sink.addr" && break; sleep 0.1; done
 test -s "$tmp_sink.addr"
 "$tmp_sink.load" -addr @"$tmp_sink.addr" -n 12 -rate 50 -ramp 0 \
-    -verify -assert-hits 1 \
+    -verify -assert-hits 1 -follow -follow-min 1 -check-metrics \
     '{"design":"das","benchmarks":["mcf"]}' '{"figure":"table2"}'
 kill -TERM "$serve_pid"
 wait "$serve_pid"
