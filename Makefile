@@ -14,10 +14,14 @@
 # Cross-design attribution report (where each request's nanoseconds go
 # and why standard != das); regenerates the committed results_explain.txt:
 #   make explain
+# Perf-per-watt report (instructions/uJ, EDP and the pJ/instr energy
+# decomposition across all six designs); regenerates the committed
+# results_energy.txt:
+#   make energy
 
 GO ?= go
 
-.PHONY: build test check vet bench bench-compare explain clean
+.PHONY: build test check vet bench bench-compare explain energy clean
 
 build:
 	$(GO) build ./...
@@ -43,6 +47,10 @@ bench-compare:
 explain:
 	$(GO) run ./cmd/dasbench -explain standard,das -benchmarks mcf,soplex \
 		-instr 200000 -out results_explain.txt
+
+energy:
+	$(GO) run ./cmd/dasbench -energy -benchmarks mcf,soplex \
+		-instr 200000 -out results_energy.txt
 
 clean:
 	$(GO) clean ./...

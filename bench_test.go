@@ -108,6 +108,7 @@ func BenchmarkFig7a(b *testing.B) {
 	cfg := benchConfig()
 	b.ReportAllocs()
 	var events, instrs uint64
+	var energyPJ int64
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(cfg)
 		for _, d := range []core.Design{core.SAS, core.CHARM, core.DAS, core.DASFM, core.FS} {
@@ -116,10 +117,17 @@ func BenchmarkFig7a(b *testing.B) {
 		}
 		events += s.EventsExecuted()
 		instrs += s.InstrsRetired()
+		energyPJ += s.EnergyPJ()
 	}
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(events)/secs, "events/s")
 		b.ReportMetric(float64(instrs)/secs, "instr/s")
+	}
+	// Modeled DRAM energy per simulated instruction: informational like
+	// events/s (tracks the energy model, not the host), but a free canary
+	// for accidental energy-accounting drift across engine changes.
+	if instrs > 0 {
+		b.ReportMetric(float64(energyPJ)/float64(instrs), "pJ/instr")
 	}
 }
 

@@ -268,6 +268,15 @@ func compare(cur, base document, minThroughputRatio, maxAllocRatio float64) (rep
 					b.Name, su, refSU))
 			}
 		}
+		// pJ/instr is the modeled DRAM energy per simulated instruction —
+		// a property of the energy model, not the host, so it is never
+		// gated; baselines captured before the energy model simply lack it.
+		if refE, ok := ref.Metrics["pJ/instr"]; ok && refE > 0 {
+			if e, ok := b.Metrics["pJ/instr"]; ok {
+				report = append(report, fmt.Sprintf("%s: pJ/instr %.1f vs baseline %.1f informational",
+					b.Name, e, refE))
+			}
+		}
 	}
 	if matched == 0 {
 		regressions++

@@ -1,50 +1,82 @@
-// Command dasarea evaluates the analytical die-area model of Sections
-// 3-4: overhead of asymmetric-subarray designs for a given fast-bitline
-// length and fast-level capacity ratio, plus the TL-DRAM comparison.
+// Command dasarea evaluates the analytical physical-design models of
+// Sections 3-4: the die-area overhead of asymmetric-subarray designs
+// for a given fast-bitline length and fast-level capacity ratio (plus
+// the TL-DRAM comparison), and the per-command energy table the same
+// geometry implies (internal/energy prices both simulators' metering
+// from these numbers, so this is the single place to inspect them).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/area"
+	"repro/internal/energy"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dasarea: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run is the testable core: parses args, writes the report to w.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dasarea", flag.ContinueOnError)
 	var (
-		fastCells = flag.Int("fast-bitline", 128, "cells per fast-subarray bitline")
-		slowCells = flag.Int("slow-bitline", 512, "cells per slow-subarray bitline")
-		ratio     = flag.Float64("fast-per-slow", 0.5, "fast subarrays per slow subarray (0.5 = the paper's 1:2 reduced interleaving)")
-		sweep     = flag.Bool("sweep", false, "sweep fast-level capacity ratios 1/32..1/2")
+		fastCells  = fs.Int("fast-bitline", 128, "cells per fast-subarray bitline")
+		slowCells  = fs.Int("slow-bitline", 512, "cells per slow-subarray bitline")
+		ratio      = fs.Float64("fast-per-slow", 0.5, "fast subarrays per slow subarray (0.5 = the paper's 1:2 reduced interleaving)")
+		sweep      = fs.Bool("sweep", false, "sweep fast-level capacity ratios 1/32..1/2")
+		rowBytes   = fs.Int("row-bytes", 8192, "row (page) size in bytes for the energy table")
+		blockBytes = fs.Int("block-bytes", 64, "cache-block (burst) size in bytes for the energy table")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	p := area.Default()
 	p.FastBitlineCells = *fastCells
 	p.SlowBitlineCells = *slowCells
 	p.FastSubarraysPerSlow = *ratio
 	if err := p.Validate(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("fast bitline %d cells, slow bitline %d cells, %.2f fast subarrays per slow\n",
+	fmt.Fprintf(w, "fast bitline %d cells, slow bitline %d cells, %.2f fast subarrays per slow\n",
 		p.FastBitlineCells, p.SlowBitlineCells, p.FastSubarraysPerSlow)
-	fmt.Printf("fast-level capacity ratio: %.4f (1/%.1f)\n", p.FastCapacityRatio(), 1/p.FastCapacityRatio())
-	fmt.Printf("die-area overhead:         %.2f%%\n", p.Overhead()*100)
-	fmt.Printf("TL-DRAM comparison:        %.2f%%\n", area.DefaultTLDRAM().Overhead()*100)
+	fmt.Fprintf(w, "fast-level capacity ratio: %.4f (1/%.1f)\n", p.FastCapacityRatio(), 1/p.FastCapacityRatio())
+	fmt.Fprintf(w, "die-area overhead:         %.2f%%\n", p.Overhead()*100)
+	fmt.Fprintf(w, "TL-DRAM comparison:        %.2f%%\n", area.DefaultTLDRAM().Overhead()*100)
+
+	m, err := energy.NewModel(p, *rowBytes, *blockBytes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nper-command energy (%d B rows, %d B blocks):\n", *rowBytes, *blockBytes)
+	fmt.Fprintf(w, "  %-22s %10s %10s\n", "command", "slow (pJ)", "fast (pJ)")
+	fmt.Fprintf(w, "  %-22s %10d %10d\n", "ACT (sense+restore)", m.ActPJ[energy.ClassSlow], m.ActPJ[energy.ClassFast])
+	fmt.Fprintf(w, "  %-22s %10d %10d\n", "PRE (equalize)", m.PrePJ[energy.ClassSlow], m.PrePJ[energy.ClassFast])
+	fmt.Fprintf(w, "  %-22s %10d %10d\n", "RD (burst)", m.RdPJ[energy.ClassSlow], m.RdPJ[energy.ClassFast])
+	fmt.Fprintf(w, "  %-22s %10d %10d\n", "WR (burst)", m.WrPJ[energy.ClassSlow], m.WrPJ[energy.ClassFast])
+	fmt.Fprintf(w, "  %-22s %10d\n", "REF (per rank)", m.RefPJ)
+	fmt.Fprintf(w, "  %-22s %10d\n", "MIG (row swap)", m.MigPJ)
+	fmt.Fprintf(w, "  background power:      %d mW/rank (1 mW x 1 ns = 1 pJ exactly)\n", m.BackgroundMW)
 
 	if *sweep {
-		fmt.Println("\ncapacity-ratio sweep:")
+		fmt.Fprintln(w, "\ncapacity-ratio sweep:")
 		for _, d := range []int{32, 16, 8, 4, 2} {
 			o, err := p.OverheadForCapacityRatio(d)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("  fast = 1/%-3d -> %.2f%% overhead\n", d, o*100)
+			fmt.Fprintf(w, "  fast = 1/%-3d -> %.2f%% overhead\n", d, o*100)
 		}
 	}
+	return nil
 }

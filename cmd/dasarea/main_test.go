@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunDefaultReport round-trips the CLI: default flags must render
+// the area numbers and the energy table from one shared geometry, with
+// the fast column strictly cheaper for the bitline-scaled commands.
+func TestRunDefaultReport(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fast bitline 128 cells, slow bitline 512 cells",
+		"die-area overhead:",
+		"per-command energy (8192 B rows, 64 B blocks):",
+		"ACT (sense+restore)",
+		"PRE (equalize)",
+		"RD (burst)",
+		"WR (burst)",
+		"REF (per rank)",
+		"MIG (row swap)",
+		"background power:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	// Pin the default-geometry ACT row: these are the exact values the
+	// simulator meters with (energy.TestKnownValues pins the model; this
+	// pins the CLI rendering of it).
+	if !strings.Contains(got, "ACT (sense+restore)         15099       3774") {
+		t.Errorf("ACT energy row changed:\n%s", got)
+	}
+}
+
+// TestRunFlagsChangeGeometry: sweeping flags must flow into both the
+// area and energy models.
+func TestRunFlagsChangeGeometry(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fast-bitline", "64", "-row-bytes", "4096", "-sweep"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "fast bitline 64 cells") {
+		t.Errorf("fast-bitline flag ignored:\n%s", got)
+	}
+	if !strings.Contains(got, "per-command energy (4096 B rows, 64 B blocks):") {
+		t.Errorf("row-bytes flag did not reach the energy table:\n%s", got)
+	}
+	if !strings.Contains(got, "capacity-ratio sweep:") {
+		t.Errorf("sweep flag ignored:\n%s", got)
+	}
+}
+
+// TestRunRejectsBadGeometry: validation errors surface instead of
+// printing a table from garbage.
+func TestRunRejectsBadGeometry(t *testing.T) {
+	if err := run([]string{"-fast-bitline", "-1"}, &strings.Builder{}); err == nil {
+		t.Fatal("negative bitline accepted")
+	}
+	if err := run([]string{"-block-bytes", "16384"}, &strings.Builder{}); err == nil {
+		t.Fatal("block larger than row accepted")
+	}
+}

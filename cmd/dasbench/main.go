@@ -9,6 +9,7 @@
 //	dasbench -fig 7d -instr 2000000
 //	dasbench -fig 7a -cpuprofile cpu.pprof -memprofile mem.pprof
 //	dasbench -explain standard,das -out results_explain.txt
+//	dasbench -energy -out results_energy.txt
 //
 // Figure text goes to stdout (and -out) and is byte-stable: it is the
 // golden artifact asserted by internal/exp's regression tests. All
@@ -48,7 +49,8 @@ func main() {
 
 func run() error {
 	var (
-		figs     = flag.String("fig", "tables", "comma-separated figures: 7a,7b,7c,7d,7e,7f,8,9a,9b,9c,9d,power,area,table1,table2,faults,all,tables")
+		figs     = flag.String("fig", "tables", "comma-separated figures: 7a,7b,7c,7d,7e,7f,8,9a,9b,9c,9d,power,energy,area,table1,table2,faults,all,tables")
+		energyF  = flag.Bool("energy", false, "append the perf-per-watt figure (instructions/uJ, EDP vs Standard, pJ/instr decomposition) to the selected figures")
 		instr    = flag.Uint64("instr", 0, "instructions per core (0 = config default)")
 		cfgPath  = flag.String("config", "", "JSON config file (default: episode-scaled Table 1)")
 		fullScal = flag.Bool("full-scale", false, "use the full 8 GB Table 1 memory instead of the episode-scaled 1 GB")
@@ -226,6 +228,14 @@ func run() error {
 	}
 	if *explainSel != "" && !flagVisited("fig") {
 		wanted = nil // -explain alone skips the default tables
+	}
+	if *energyF {
+		// Deliberately not part of "all": the committed results_*.txt
+		// goldens predate the energy model and must stay byte-identical.
+		if !flagVisited("fig") && *explainSel == "" {
+			wanted = nil // -energy alone skips the default tables
+		}
+		wanted = append(wanted, "energy")
 	}
 
 	perfCSV := "figure,wall_seconds,events,events_per_sec,alloc_bytes,alloc_objects\n"

@@ -230,10 +230,17 @@ func (l *latencies) report() string {
 	var b strings.Builder
 	b.WriteString("dasload: attempt latency by outcome class (ms):\n")
 	fmt.Fprintf(&b, "  %-10s %6s %9s %9s %9s\n", "class", "n", "p50", "p95", "p99")
+	quantile := func(xs []float64, q float64) string {
+		v, err := stats.PercentileErr(xs, q)
+		if err != nil {
+			return "-" // no samples in this class: undefined, not 0 ms
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
 	for _, c := range classes {
 		xs := l.byClass[c]
-		fmt.Fprintf(&b, "  %-10s %6d %9.2f %9.2f %9.2f\n", c, len(xs),
-			stats.Percentile(xs, 0.50), stats.Percentile(xs, 0.95), stats.Percentile(xs, 0.99))
+		fmt.Fprintf(&b, "  %-10s %6d %9s %9s %9s\n", c, len(xs),
+			quantile(xs, 0.50), quantile(xs, 0.95), quantile(xs, 0.99))
 	}
 	return b.String()
 }

@@ -28,13 +28,18 @@ type Bank struct {
 	busyUntil     sim.Time // migration/refresh occupancy window
 	migOpen       bool     // active-start migration: open row serves hits
 
-	// Statistics.
-	Activates     uint64
-	ActivatesFast uint64
-	Reads         uint64
-	Writes        uint64
-	Precharges    uint64
-	Migrations    uint64
+	// Statistics. The *Fast counters split each command count by the
+	// class of the row involved (the energy model prices the two classes
+	// differently); slow counts are the difference.
+	Activates      uint64
+	ActivatesFast  uint64
+	Reads          uint64
+	ReadsFast      uint64
+	Writes         uint64
+	WritesFast     uint64
+	Precharges     uint64
+	PrechargesFast uint64
+	Migrations     uint64
 }
 
 // State helpers.
@@ -105,6 +110,9 @@ func (b *Bank) read(t sim.Time) sim.Time {
 		b.nextWrite = col
 	}
 	b.Reads++
+	if b.openCls == RowFast {
+		b.ReadsFast++
+	}
 	return t + p.Duration(p.ReadLatency())
 }
 
@@ -130,6 +138,9 @@ func (b *Bank) write(t sim.Time) sim.Time {
 		b.nextWrite = col
 	}
 	b.Writes++
+	if b.openCls == RowFast {
+		b.WritesFast++
+	}
 	return burstEnd
 }
 
@@ -147,6 +158,9 @@ func (b *Bank) precharge(t sim.Time) {
 		b.nextActivate = act
 	}
 	b.Precharges++
+	if b.openCls == RowFast {
+		b.PrechargesFast++
+	}
 }
 
 // canMigrate checks whether a swap of srcRow can start at time t: either

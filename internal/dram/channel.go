@@ -116,8 +116,7 @@ func (ch *Channel) Read(t sim.Time, rank, bank int) sim.Time {
 	end := b.read(t)
 	ch.claimBus(end, rank, busRead)
 	if tel := ch.dev.tel; tel != nil {
-		tel.rd.Inc()
-		tel.occRD.Add(uint64(end - t))
+		tel.noteRead(b.openCls, end-t)
 	}
 	if log := ch.dev.cmdLog; log != nil {
 		log(t, CmdRead, ch.idx, rank, bank, row)
@@ -146,8 +145,7 @@ func (ch *Channel) Write(t sim.Time, rank, bank int) sim.Time {
 	r.noteWriteBurst(end, p.Duration(p.TWTR))
 	ch.claimBus(end, rank, busWrite)
 	if tel := ch.dev.tel; tel != nil {
-		tel.wr.Inc()
-		tel.occWR.Add(uint64(end - t))
+		tel.noteWrite(b.openCls, end-t)
 	}
 	if log := ch.dev.cmdLog; log != nil {
 		log(t, CmdWrite, ch.idx, rank, bank, row)
@@ -167,8 +165,7 @@ func (ch *Channel) Precharge(t sim.Time, rank, bank int) {
 	b.precharge(t)
 	if tel := ch.dev.tel; tel != nil {
 		p := b.rowPar
-		tel.pre.Inc()
-		tel.occPRE.Add(uint64(p.Duration(p.TRP)))
+		tel.notePrecharge(b.openCls, p.Duration(p.TRP))
 	}
 	if log := ch.dev.cmdLog; log != nil {
 		log(t, CmdPrecharge, ch.idx, rank, bank, row)
@@ -190,8 +187,7 @@ func (ch *Channel) Refresh(t sim.Time, rank int) {
 	p := &ch.dev.slow
 	ch.ranks[rank].refresh(t, p.Duration(p.TRFC), p.Duration(p.TREFI))
 	if tel := ch.dev.tel; tel != nil {
-		tel.ref.Inc()
-		tel.occREF.Add(uint64(p.Duration(p.TRFC)))
+		tel.noteRefresh(p.Duration(p.TRFC))
 	}
 	if log := ch.dev.cmdLog; log != nil {
 		log(t, CmdRefresh, ch.idx, rank, -1, -1)
@@ -211,8 +207,7 @@ func (ch *Channel) Migrate(t sim.Time, rank, bank int) sim.Time {
 	b := ch.ranks[rank].banks[bank]
 	b.migrate(t, ch.dev.migrationLatency)
 	if tel := ch.dev.tel; tel != nil {
-		tel.mig.Inc()
-		tel.occMIG.Add(uint64(ch.dev.migrationLatency))
+		tel.noteMigrate(ch.dev.migrationLatency)
 	}
 	if log := ch.dev.cmdLog; log != nil {
 		log(t, CmdMigrate, ch.idx, rank, bank, -1)

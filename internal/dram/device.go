@@ -3,6 +3,8 @@ package dram
 import (
 	"fmt"
 
+	"repro/internal/area"
+	"repro/internal/energy"
 	"repro/internal/sim"
 	"repro/internal/timing"
 )
@@ -39,6 +41,11 @@ type Device struct {
 	slow, fast       timing.Params
 	migrationLatency sim.Time
 	channels         []*Channel
+
+	// emodel prices commands in integer picojoules (see internal/energy).
+	// It is pure accounting — nothing reads it on a timing path — and is
+	// always present, so figure code can cost a run without telemetry.
+	emodel *energy.Model
 
 	// tel is the live instrument set (nil = telemetry off, the default;
 	// see AttachTelemetry).
@@ -77,11 +84,16 @@ func New(cfg Config) (*Device, error) {
 	if cfg.MigrationLatency < 0 {
 		return nil, fmt.Errorf("dram: negative migration latency %d", cfg.MigrationLatency)
 	}
+	emodel, err := energy.NewModel(area.Default(), int(cfg.Geometry.RowBytes()), cfg.Geometry.BlockSize)
+	if err != nil {
+		return nil, fmt.Errorf("dram: energy model: %w", err)
+	}
 	d := &Device{
 		geom:             cfg.Geometry,
 		slow:             cfg.Slow,
 		fast:             cfg.Fast,
 		migrationLatency: cfg.MigrationLatency,
+		emodel:           emodel,
 	}
 	for i := 0; i < cfg.Geometry.Channels; i++ {
 		d.channels = append(d.channels, newChannel(d, i, cfg.Geometry.Ranks, cfg.Geometry.Banks))
@@ -116,6 +128,9 @@ func (d *Device) FastParams() *timing.Params { return &d.fast }
 // MigrationLatency returns the configured per-swap bank occupancy.
 func (d *Device) MigrationLatency() sim.Time { return d.migrationLatency }
 
+// EnergyModel returns the device's per-command energy table.
+func (d *Device) EnergyModel() *energy.Model { return d.emodel }
+
 // ClockPeriod returns the DRAM command-clock period.
 func (d *Device) ClockPeriod() sim.Time { return d.slow.TCK }
 
@@ -135,9 +150,27 @@ func (d *Device) MinCrossDomainLatency() sim.Time {
 	return min
 }
 
-// Stats aggregates command counts across the whole device.
+// Stats aggregates command counts across the whole device. The *Fast
+// fields count the subset of each command that touched a fast-subarray
+// row (the energy model prices the classes differently).
 type Stats struct {
-	Activates, ActivatesFast, Reads, Writes, Precharges, Refreshes, Migrations uint64
+	Activates, ActivatesFast   uint64
+	Reads, ReadsFast           uint64
+	Writes, WritesFast         uint64
+	Precharges, PrechargesFast uint64
+	Refreshes, Migrations      uint64
+}
+
+// EnergyCounts converts the command counts into the energy model's
+// per-class pricing input (slow counts are total minus fast).
+func (s Stats) EnergyCounts() energy.Counts {
+	return energy.Counts{
+		ActSlow: s.Activates - s.ActivatesFast, ActFast: s.ActivatesFast,
+		PreSlow: s.Precharges - s.PrechargesFast, PreFast: s.PrechargesFast,
+		RdSlow: s.Reads - s.ReadsFast, RdFast: s.ReadsFast,
+		WrSlow: s.Writes - s.WritesFast, WrFast: s.WritesFast,
+		Ref: s.Refreshes, Mig: s.Migrations,
+	}
 }
 
 // ResetStats zeroes all command counters (warm-up boundary); timing state
@@ -147,8 +180,9 @@ func (d *Device) ResetStats() {
 		for _, r := range ch.ranks {
 			r.Refreshes = 0
 			for _, b := range r.banks {
-				b.Activates, b.ActivatesFast, b.Reads, b.Writes = 0, 0, 0, 0
-				b.Precharges, b.Migrations = 0, 0
+				b.Activates, b.ActivatesFast, b.Reads, b.ReadsFast = 0, 0, 0, 0
+				b.Writes, b.WritesFast, b.Precharges, b.PrechargesFast = 0, 0, 0, 0
+				b.Migrations = 0
 			}
 		}
 	}
@@ -164,8 +198,11 @@ func (d *Device) CollectStats() Stats {
 				s.Activates += b.Activates
 				s.ActivatesFast += b.ActivatesFast
 				s.Reads += b.Reads
+				s.ReadsFast += b.ReadsFast
 				s.Writes += b.Writes
+				s.WritesFast += b.WritesFast
 				s.Precharges += b.Precharges
+				s.PrechargesFast += b.PrechargesFast
 				s.Migrations += b.Migrations
 			}
 		}

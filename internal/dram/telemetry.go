@@ -1,24 +1,34 @@
 package dram
 
 import (
+	"repro/internal/energy"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
 // deviceTelemetry is the device's live instrument set: per-command
-// counts and per-command-class timing occupancy (how much bank time, in
-// picoseconds, each command class consumed). All fields are
+// counts, per-command-class timing occupancy (how much bank time, in
+// picoseconds, each command class consumed), and per-command energy in
+// integer picojoules (priced by the device's energy model, split by
+// subarray class where the command touches one). All fields are
 // nil-receiver-safe instruments, but the device keeps the whole struct
 // behind a nil pointer so the uninstrumented hot path pays exactly one
 // branch per command.
 type deviceTelemetry struct {
 	act, actFast, rd, wr, pre, ref, mig          *telemetry.Counter
 	occACT, occRD, occWR, occPRE, occREF, occMIG *telemetry.Counter
+
+	// Energy counters, indexed by RowClass where per-class. em is the
+	// device's pricing table (never nil while tel is attached).
+	em                   *energy.Model
+	eAct, ePre, eRd, eWr [2]*telemetry.Counter
+	eRef, eMig           *telemetry.Counter
 }
 
-// AttachTelemetry registers the device's command counters and occupancy
-// sums on reg. Call once at assembly time, before traffic; a nil
-// registry leaves the device uninstrumented (the default).
+// AttachTelemetry registers the device's command counters, occupancy
+// sums and energy counters on reg. Call once at assembly time, before
+// traffic; a nil registry leaves the device uninstrumented (the
+// default).
 func (d *Device) AttachTelemetry(reg *telemetry.Registry) {
 	if !reg.Enabled() {
 		return
@@ -37,6 +47,25 @@ func (d *Device) AttachTelemetry(reg *telemetry.Registry) {
 		occPRE:  reg.Counter("dram.occupancy_ps.pre"),
 		occREF:  reg.Counter("dram.occupancy_ps.ref"),
 		occMIG:  reg.Counter("dram.occupancy_ps.mig"),
+		em:      d.emodel,
+		eAct: [2]*telemetry.Counter{
+			RowSlow: reg.Counter("dram.energy_pj.act_slow"),
+			RowFast: reg.Counter("dram.energy_pj.act_fast"),
+		},
+		ePre: [2]*telemetry.Counter{
+			RowSlow: reg.Counter("dram.energy_pj.pre_slow"),
+			RowFast: reg.Counter("dram.energy_pj.pre_fast"),
+		},
+		eRd: [2]*telemetry.Counter{
+			RowSlow: reg.Counter("dram.energy_pj.rd_slow"),
+			RowFast: reg.Counter("dram.energy_pj.rd_fast"),
+		},
+		eWr: [2]*telemetry.Counter{
+			RowSlow: reg.Counter("dram.energy_pj.wr_slow"),
+			RowFast: reg.Counter("dram.energy_pj.wr_fast"),
+		},
+		eRef: reg.Counter("dram.energy_pj.ref"),
+		eMig: reg.Counter("dram.energy_pj.mig"),
 	}
 }
 
@@ -47,4 +76,40 @@ func (t *deviceTelemetry) noteActivate(cls RowClass, trcd sim.Time) {
 		t.actFast.Inc()
 	}
 	t.occACT.Add(uint64(trcd))
+	t.eAct[cls].Add(uint64(t.em.ActPJ[cls]))
+}
+
+// noteRead records a RD burst of dur on a row of class cls.
+func (t *deviceTelemetry) noteRead(cls RowClass, dur sim.Time) {
+	t.rd.Inc()
+	t.occRD.Add(uint64(dur))
+	t.eRd[cls].Add(uint64(t.em.RdPJ[cls]))
+}
+
+// noteWrite records a WR burst of dur on a row of class cls.
+func (t *deviceTelemetry) noteWrite(cls RowClass, dur sim.Time) {
+	t.wr.Inc()
+	t.occWR.Add(uint64(dur))
+	t.eWr[cls].Add(uint64(t.em.WrPJ[cls]))
+}
+
+// notePrecharge records a PRE of a row of class cls taking tRP.
+func (t *deviceTelemetry) notePrecharge(cls RowClass, trp sim.Time) {
+	t.pre.Inc()
+	t.occPRE.Add(uint64(trp))
+	t.ePre[cls].Add(uint64(t.em.PrePJ[cls]))
+}
+
+// noteRefresh records a REF occupying the rank for tRFC.
+func (t *deviceTelemetry) noteRefresh(trfc sim.Time) {
+	t.ref.Inc()
+	t.occREF.Add(uint64(trfc))
+	t.eRef.Add(uint64(t.em.RefPJ))
+}
+
+// noteMigrate records a migration swap occupying its bank for dur.
+func (t *deviceTelemetry) noteMigrate(dur sim.Time) {
+	t.mig.Inc()
+	t.occMIG.Add(uint64(dur))
+	t.eMig.Add(uint64(t.em.MigPJ))
 }

@@ -1,0 +1,183 @@
+// Package energy implements the analytical DESTINY/NVSim-style energy
+// model of the asymmetric device: per-command energies (ACT/PRE/RD/WR)
+// scaled by bitline length so short-bitline fast subarrays are cheaper
+// to sense and restore, plus refresh, migration-transfer and
+// background/standby power. It consumes the same physical-design
+// parameters internal/area uses for the silicon-area model, so the two
+// analytic models stay in lock-step over one geometry description.
+//
+// All dynamic energies are exact integer picojoules and background
+// power is an integer milliwatt rate (1 mW sustained for 1 ns of
+// simulated time is exactly 1 pJ), so every downstream accumulation —
+// telemetry counters, per-request attribution, figure totals — is exact
+// integer arithmetic with a conservation invariant that can be checked
+// with == rather than a float tolerance. The model is pure accounting:
+// nothing in it ever feeds back into command timing, so enabling energy
+// metering cannot perturb a simulation.
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/area"
+)
+
+// Class indexes the per-class energy tables. The values deliberately
+// match dram.RowClass (slow=0, fast=1); the dram package converts with
+// a plain int cast. energy cannot import dram (dram builds its model
+// from this package), so the correspondence is by value, not by type.
+const (
+	ClassSlow = 0
+	ClassFast = 1
+)
+
+// Physical constants of the model. The sensing terms come from the
+// standard C·Vdd² arithmetic DESTINY/NVSim apply per bitline: a DRAM
+// cell contributes ~200 aF of bitline capacitance, and at Vdd = 1.5 V
+// (DDR3) a full-swing sense+restore dissipates C·Vdd² = 450 aJ per
+// cell of bitline length per bit of row width. Precharge equalizes the
+// bitline pair at half swing, costing half that. Column accesses pay a
+// per-bit I/O + on-die bus term plus a local-dataline term that scales
+// with subarray height (the column path crosses the whole bitline).
+const (
+	actCellAJ = 450  // aJ per (row bit x bitline cell): full-swing sense+restore
+	preCellAJ = 225  // aJ per (row bit x bitline cell): half-swing equalize
+	rdIOPJ    = 20   // pJ per bit burst on the DQ pins + on-die bus (read)
+	wrIOPJ    = 25   // pJ per bit received and driven into the array (write)
+	colCellAJ = 4000 // aJ per (column bit x bitline cell): local dataline/CSL drive
+
+	// refRowCycles calibrates one REF command as this many slow-row
+	// ACT+PRE cycles (a REF walks several rows per bank internally);
+	// eight keeps the model consistent with the Section 7.7 coarse
+	// proxy's 8:1 REF:ACT weight.
+	refRowCycles = 8
+
+	// migTransferFJ is the energy of moving one bit across the
+	// migration cells between a slow and a fast subarray (short local
+	// wires, no I/O): 100 fJ/bit.
+	migTransferFJ = 100
+
+	// backgroundMWPerRank is the standby/refresh-idle power of one rank
+	// (peripheral clocking, DLL, leakage): 50 mW, the usual order for a
+	// DDR3 x8 rank's IDD2N floor.
+	backgroundMWPerRank = 50
+)
+
+// Model holds the per-command energies of one device in integer
+// picojoules, indexed by class (ClassSlow/ClassFast) where the command
+// touches a subarray.
+type Model struct {
+	// ActPJ is the energy of one ACT: sensing and restoring every bit
+	// of the row through its bitline. Proportional to bitline length,
+	// which is the whole energy argument for short-bitline subarrays.
+	ActPJ [2]int64
+	// PrePJ is the energy of one PRE: equalizing the open row's
+	// bitlines back to Vdd/2.
+	PrePJ [2]int64
+	// RdPJ is the energy of one RD burst (one cache block): I/O plus
+	// the column path through the subarray.
+	RdPJ [2]int64
+	// WrPJ is the energy of one WR burst.
+	WrPJ [2]int64
+	// RefPJ is the energy of one REF command (per rank).
+	RefPJ int64
+	// MigPJ is the energy of one DAS-DRAM migration swap: two row
+	// cycles on each side plus the inter-subarray transfer of both rows.
+	MigPJ int64
+	// BackgroundMW is the standby power of one rank in milliwatts.
+	// Milliwatt-nanoseconds are picojoules exactly, so background
+	// energy stays on the integer accounting path.
+	BackgroundMW int64
+}
+
+// NewModel derives the per-command energy table from the physical
+// design parameters (bitline lengths) and the device geometry (row and
+// block sizes in bytes).
+func NewModel(p area.Params, rowBytes, blockBytes int) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if rowBytes <= 0 || blockBytes <= 0 {
+		return nil, fmt.Errorf("energy: row (%d) and block (%d) bytes must be positive", rowBytes, blockBytes)
+	}
+	if blockBytes > rowBytes {
+		return nil, fmt.Errorf("energy: block (%d B) larger than row (%d B)", blockBytes, rowBytes)
+	}
+	rowBits := int64(rowBytes) * 8
+	blockBits := int64(blockBytes) * 8
+	cells := [2]int64{ClassSlow: int64(p.SlowBitlineCells), ClassFast: int64(p.FastBitlineCells)}
+	m := &Model{BackgroundMW: backgroundMWPerRank}
+	for c, n := range cells {
+		m.ActPJ[c] = rowBits * n * actCellAJ / 1_000_000
+		m.PrePJ[c] = rowBits * n * preCellAJ / 1_000_000
+		m.RdPJ[c] = blockBits*rdIOPJ + blockBits*n*colCellAJ/1_000_000
+		m.WrPJ[c] = blockBits*wrIOPJ + blockBits*n*colCellAJ/1_000_000
+	}
+	m.RefPJ = refRowCycles * (m.ActPJ[ClassSlow] + m.PrePJ[ClassSlow])
+	// A swap is two full row cycles on each side (read out + restore on
+	// both the slow and the fast subarray) plus moving both rows across
+	// the migration cells.
+	m.MigPJ = 2*(m.ActPJ[ClassSlow]+m.PrePJ[ClassSlow]) +
+		2*(m.ActPJ[ClassFast]+m.PrePJ[ClassFast]) +
+		2*rowBits*migTransferFJ/1000
+	return m, nil
+}
+
+// BackgroundPJ returns the standby energy of ranks ranks held for
+// elapsed nanoseconds of simulated time: mW x ns = pJ, exactly.
+func (m *Model) BackgroundPJ(ranks int, elapsedNS int64) int64 {
+	if ranks < 0 || elapsedNS < 0 {
+		return 0
+	}
+	return m.BackgroundMW * int64(ranks) * elapsedNS
+}
+
+// Breakdown is the exact integer-picojoule energy decomposition of one
+// run, split the same way the telemetry counters split: per command
+// kind, per class where the command touches a subarray, plus the
+// background term.
+type Breakdown struct {
+	ActSlowPJ, ActFastPJ int64
+	PreSlowPJ, PreFastPJ int64
+	RdSlowPJ, RdFastPJ   int64
+	WrSlowPJ, WrFastPJ   int64
+	RefPJ, MigPJ         int64
+	BackgroundPJ         int64
+}
+
+// DynamicPJ returns the command-driven (non-background) energy.
+func (b Breakdown) DynamicPJ() int64 {
+	return b.ActSlowPJ + b.ActFastPJ + b.PreSlowPJ + b.PreFastPJ +
+		b.RdSlowPJ + b.RdFastPJ + b.WrSlowPJ + b.WrFastPJ + b.RefPJ + b.MigPJ
+}
+
+// TotalPJ returns dynamic plus background energy.
+func (b Breakdown) TotalPJ() int64 { return b.DynamicPJ() + b.BackgroundPJ }
+
+// Counts are the per-command, per-class event counts a Breakdown is
+// computed from (the dram device's command statistics, split by class).
+type Counts struct {
+	ActSlow, ActFast uint64
+	PreSlow, PreFast uint64
+	RdSlow, RdFast   uint64
+	WrSlow, WrFast   uint64
+	Ref, Mig         uint64
+}
+
+// Breakdown prices a run's command counts plus background occupancy
+// (ranks held for elapsedNS nanoseconds of simulated time).
+func (m *Model) Breakdown(c Counts, ranks int, elapsedNS int64) Breakdown {
+	return Breakdown{
+		ActSlowPJ:    int64(c.ActSlow) * m.ActPJ[ClassSlow],
+		ActFastPJ:    int64(c.ActFast) * m.ActPJ[ClassFast],
+		PreSlowPJ:    int64(c.PreSlow) * m.PrePJ[ClassSlow],
+		PreFastPJ:    int64(c.PreFast) * m.PrePJ[ClassFast],
+		RdSlowPJ:     int64(c.RdSlow) * m.RdPJ[ClassSlow],
+		RdFastPJ:     int64(c.RdFast) * m.RdPJ[ClassFast],
+		WrSlowPJ:     int64(c.WrSlow) * m.WrPJ[ClassSlow],
+		WrFastPJ:     int64(c.WrFast) * m.WrPJ[ClassFast],
+		RefPJ:        int64(c.Ref) * m.RefPJ,
+		MigPJ:        int64(c.Mig) * m.MigPJ,
+		BackgroundPJ: m.BackgroundPJ(ranks, elapsedNS),
+	}
+}

@@ -1,0 +1,125 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/area"
+)
+
+func defaultModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(area.Default(), 8192, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestBitlineScaling is the model's core claim: short-bitline fast
+// subarrays cost proportionally less to sense, restore and precharge.
+func TestBitlineScaling(t *testing.T) {
+	m := defaultModel(t)
+	p := area.Default()
+	ratio := float64(p.SlowBitlineCells) / float64(p.FastBitlineCells) // 4x
+	for _, c := range []struct {
+		name       string
+		slow, fast int64
+	}{
+		{"ACT", m.ActPJ[ClassSlow], m.ActPJ[ClassFast]},
+		{"PRE", m.PrePJ[ClassSlow], m.PrePJ[ClassFast]},
+	} {
+		if c.slow <= 0 || c.fast <= 0 {
+			t.Fatalf("%s energies must be positive, got slow=%d fast=%d", c.name, c.slow, c.fast)
+		}
+		got := float64(c.slow) / float64(c.fast)
+		// Integer truncation keeps the ratio within a fraction of a percent.
+		if got < ratio*0.99 || got > ratio*1.01 {
+			t.Errorf("%s slow:fast energy ratio = %.3f, want ~%.1f (bitline-length scaling)", c.name, got, ratio)
+		}
+	}
+	// Column commands have a fixed I/O term, so fast is cheaper but not 4x.
+	if m.RdPJ[ClassFast] >= m.RdPJ[ClassSlow] {
+		t.Errorf("fast RD (%d pJ) not cheaper than slow RD (%d pJ)", m.RdPJ[ClassFast], m.RdPJ[ClassSlow])
+	}
+	if m.WrPJ[ClassFast] >= m.WrPJ[ClassSlow] {
+		t.Errorf("fast WR (%d pJ) not cheaper than slow WR (%d pJ)", m.WrPJ[ClassFast], m.WrPJ[ClassSlow])
+	}
+	if m.WrPJ[ClassSlow] <= m.RdPJ[ClassSlow] {
+		t.Errorf("WR (%d pJ) should cost more than RD (%d pJ): write drivers swing the full array path", m.WrPJ[ClassSlow], m.RdPJ[ClassSlow])
+	}
+}
+
+// TestKnownValues pins the Table 1 geometry's energy table so silent
+// arithmetic drift is caught (these exact integers also seed the
+// committed figure and doc tables).
+func TestKnownValues(t *testing.T) {
+	m := defaultModel(t)
+	want := Model{
+		ActPJ:        [2]int64{ClassSlow: 15099, ClassFast: 3774},
+		PrePJ:        [2]int64{ClassSlow: 7549, ClassFast: 1887},
+		RdPJ:         [2]int64{ClassSlow: 11288, ClassFast: 10502},
+		WrPJ:         [2]int64{ClassSlow: 13848, ClassFast: 13062},
+		RefPJ:        181184,
+		MigPJ:        69725,
+		BackgroundMW: 50,
+	}
+	if *m != want {
+		t.Errorf("model = %+v, want %+v", *m, want)
+	}
+}
+
+func TestBackgroundExactness(t *testing.T) {
+	m := defaultModel(t)
+	// 1 mW over 1 ns is exactly 1 pJ: 4 ranks at 50 mW for 1 ms.
+	if got, want := m.BackgroundPJ(4, 1_000_000), int64(4*50*1_000_000); got != want {
+		t.Errorf("BackgroundPJ(4, 1e6 ns) = %d, want %d", got, want)
+	}
+	if m.BackgroundPJ(-1, 10) != 0 || m.BackgroundPJ(2, -10) != 0 {
+		t.Error("negative ranks/elapsed must price to zero")
+	}
+}
+
+// TestBreakdownConservation: a Breakdown priced from counts must sum
+// exactly (integer ==) to the per-term products.
+func TestBreakdownConservation(t *testing.T) {
+	m := defaultModel(t)
+	c := Counts{
+		ActSlow: 101, ActFast: 73, PreSlow: 99, PreFast: 71,
+		RdSlow: 1234, RdFast: 4321, WrSlow: 55, WrFast: 44,
+		Ref: 17, Mig: 9,
+	}
+	b := m.Breakdown(c, 4, 123_456)
+	sum := b.ActSlowPJ + b.ActFastPJ + b.PreSlowPJ + b.PreFastPJ +
+		b.RdSlowPJ + b.RdFastPJ + b.WrSlowPJ + b.WrFastPJ +
+		b.RefPJ + b.MigPJ + b.BackgroundPJ
+	if sum != b.TotalPJ() {
+		t.Errorf("component sum %d != TotalPJ %d", sum, b.TotalPJ())
+	}
+	if b.DynamicPJ()+b.BackgroundPJ != b.TotalPJ() {
+		t.Errorf("DynamicPJ+BackgroundPJ = %d, want %d", b.DynamicPJ()+b.BackgroundPJ, b.TotalPJ())
+	}
+	if b.ActSlowPJ != 101*m.ActPJ[ClassSlow] || b.MigPJ != 9*m.MigPJ {
+		t.Error("per-term pricing mismatch")
+	}
+	if b.BackgroundPJ != m.BackgroundPJ(4, 123_456) {
+		t.Error("background pricing mismatch")
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	p := area.Default()
+	if _, err := NewModel(p, 0, 64); err == nil {
+		t.Error("zero row bytes must be rejected")
+	}
+	if _, err := NewModel(p, 8192, 0); err == nil {
+		t.Error("zero block bytes must be rejected")
+	}
+	if _, err := NewModel(p, 64, 8192); err == nil {
+		t.Error("block larger than row must be rejected")
+	}
+	bad := p
+	bad.FastBitlineCells = p.SlowBitlineCells + 1
+	if _, err := NewModel(bad, 8192, 64); err == nil {
+		t.Error("invalid area params must be rejected")
+	}
+}

@@ -49,6 +49,10 @@ func (s *Session) Explain(a, b core.Design) (*Figure, error) {
 					return nil, fmt.Errorf("exp: %s: %d attribution invariant violation(s); first: %s",
 						key, v, o.Req.FirstViolation())
 				}
+				if v := o.Req.EnergyViolations(); v > 0 {
+					return nil, fmt.Errorf("exp: %s: %d energy attribution violation(s); first: %s",
+						key, v, o.Req.FirstEnergyViolation())
+				}
 				return o.Req, nil
 			}
 		}
@@ -62,6 +66,16 @@ func (s *Session) Explain(a, b core.Design) (*Figure, error) {
 	quantiles := &stats.Table{
 		Title:  "End-to-end request latency quantiles (ns)",
 		Header: []string{"workload", "design", "p50", "p95", "p99"},
+	}
+	// Energy carries only on DRAM-command components; the attribution is
+	// causal (blocking REF/MIG commands charge each sampled request they
+	// blocked in full), verified per request by the ledger invariant.
+	ewaterfall := &stats.Table{
+		Title:  fmt.Sprintf("Mean per-request energy attribution (pJ): %v vs %v", a, b),
+		Header: []string{"workload", "design", "total", "conflict", "service", "refresh", "migration"},
+	}
+	energyComps := []reqtrace.Component{
+		reqtrace.CompConflict, reqtrace.CompService, reqtrace.CompRefresh, reqtrace.CompMigration,
 	}
 	var aggA, aggB reqtrace.Aggregate
 	meanRow := func(name string, d core.Design, r *reqtrace.Recorder) {
@@ -80,6 +94,20 @@ func (s *Session) Explain(a, b core.Design) (*Figure, error) {
 		}
 		waterfall.AddRow(row...)
 	}
+	energyRow := func(name string, d core.Design, r *reqtrace.Recorder) {
+		row := []string{name, fmt.Sprintf("%v", d), fmt.Sprintf("%.1f", r.EnergyMeanPJ())}
+		for _, c := range energyComps {
+			row = append(row, fmt.Sprintf("%.1f", r.ComponentEnergyMeanPJ(c)))
+		}
+		ewaterfall.AddRow(row...)
+	}
+	energyDeltaRow := func(name string, ra, rb *reqtrace.Recorder) {
+		row := []string{name, "Δ", fmt.Sprintf("%+.1f", rb.EnergyMeanPJ()-ra.EnergyMeanPJ())}
+		for _, c := range energyComps {
+			row = append(row, fmt.Sprintf("%+.1f", rb.ComponentEnergyMeanPJ(c)-ra.ComponentEnergyMeanPJ(c)))
+		}
+		ewaterfall.AddRow(row...)
+	}
 	for i, set := range sets {
 		ra, err := recorder(a, set)
 		if err != nil {
@@ -92,6 +120,9 @@ func (s *Session) Explain(a, b core.Design) (*Figure, error) {
 		meanRow(names[i], a, ra)
 		meanRow(names[i], b, rb)
 		deltaRow(names[i], ra, rb)
+		energyRow(names[i], a, ra)
+		energyRow(names[i], b, rb)
+		energyDeltaRow(names[i], ra, rb)
 		ra.AddTo(&aggA)
 		rb.AddTo(&aggB)
 		quantiles.AddRow(names[i], fmt.Sprintf("%v", a),
@@ -102,13 +133,15 @@ func (s *Session) Explain(a, b core.Design) (*Figure, error) {
 	waterfall.Caption = fmt.Sprintf(
 		"Sampled 1-in-%d demand loads per core; components sum exactly to total (verified per request).",
 		s.Observe.ReqTraceN)
+	ewaterfall.Caption = "Integer-picojoule ledger per sampled request; component energies sum exactly to the request total (verified per request)."
 
 	drivers, headline := rankDrivers(a, b, &aggA, &aggB)
+	edrivers := rankEnergyDrivers(a, b, &aggA, &aggB, energyComps)
 	fig := &Figure{
 		ID:    "Explain",
 		Title: fmt.Sprintf("Why %v ≠ %v: per-request latency attribution", a, b),
 		Tables: []*stats.Table{
-			waterfall, quantiles, drivers,
+			waterfall, quantiles, ewaterfall, drivers, edrivers,
 		},
 	}
 	fig.Title += " — " + headline
@@ -171,4 +204,53 @@ func rankDrivers(a, b core.Design, aggA, aggB *reqtrace.Aggregate) (*stats.Table
 		b, totalB, a, totalA, relTotal, top.comp, top.meanB-top.meanA)
 	tbl.Caption = headline + "."
 	return tbl, headline
+}
+
+// rankEnergyDrivers mirrors rankDrivers over the attributed-energy axis:
+// which DRAM-command components drive the per-request energy difference
+// between the two designs.
+func rankEnergyDrivers(a, b core.Design, aggA, aggB *reqtrace.Aggregate, comps []reqtrace.Component) *stats.Table {
+	type driver struct {
+		comp         reqtrace.Component
+		meanA, meanB float64
+	}
+	ds := make([]driver, 0, len(comps))
+	for _, c := range comps {
+		ds = append(ds, driver{comp: c, meanA: aggA.ComponentEnergyMeanPJ(c), meanB: aggB.ComponentEnergyMeanPJ(c)})
+	}
+	abs := func(f float64) float64 {
+		if f < 0 {
+			return -f
+		}
+		return f
+	}
+	sort.SliceStable(ds, func(i, j int) bool {
+		di, dj := abs(ds[i].meanB-ds[i].meanA), abs(ds[j].meanB-ds[j].meanA)
+		if di != dj {
+			return di > dj
+		}
+		return ds[i].comp < ds[j].comp
+	})
+	totalA, totalB := aggA.EnergyMeanPJ(), aggB.EnergyMeanPJ()
+	tbl := &stats.Table{
+		Title:  fmt.Sprintf("Ranked energy drivers of the %v−%v difference (all workloads)", b, a),
+		Header: []string{"rank", "component", fmt.Sprintf("%v pJ/req", a), fmt.Sprintf("%v pJ/req", b), "Δ pJ/req", "Δ% of total"},
+	}
+	for i, d := range ds {
+		delta := d.meanB - d.meanA
+		pct := 0.0
+		if totalA > 0 {
+			pct = 100 * delta / totalA
+		}
+		tbl.AddRow(fmt.Sprintf("%d", i+1), d.comp.String(),
+			fmt.Sprintf("%.1f", d.meanA), fmt.Sprintf("%.1f", d.meanB),
+			fmt.Sprintf("%+.1f", delta), fmt.Sprintf("%+.2f%%", pct))
+	}
+	relTotal := 0.0
+	if totalA > 0 {
+		relTotal = 100 * (totalB - totalA) / totalA
+	}
+	tbl.Caption = fmt.Sprintf("%v mean attributed energy %.1f pJ/req vs %v %.1f pJ/req (%+.1f%%).",
+		b, totalB, a, totalA, relTotal)
+	return tbl
 }

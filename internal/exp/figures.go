@@ -6,6 +6,7 @@ import (
 	"repro/internal/area"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -123,7 +124,7 @@ func (s *Session) improvementFigure(id, title string, cfg config.Config, sets []
 func FigureNames() []string {
 	return []string{"table1", "table2", "area",
 		"7a", "7b", "7c", "7d", "7e", "7f", "8", "9a", "9b", "9c", "9d",
-		"power", "faults"}
+		"power", "energy", "faults"}
 }
 
 // Figure dispatches a figure name to its driver. It is the single entry
@@ -161,6 +162,8 @@ func (s *Session) Figure(name string) (*Figure, error) {
 		return s.Fig9d()
 	case "power":
 		return s.PowerFigure()
+	case "energy":
+		return s.EnergyFigure()
 	case "faults":
 		return s.FaultSweep()
 	default:
@@ -487,6 +490,133 @@ func (s *Session) PowerFigure() (*Figure, error) {
 	}
 	tbl.Caption = "Energy proxy: slow activate-restore cycle = 1, fast cycle = 0.45, column burst = 0.25, migration = 4 (Section 7.7)."
 	return &Figure{ID: "Power", Title: "Power implications (Section 7.7)", Tables: []*stats.Table{tbl}}, nil
+}
+
+// energyDesigns is every design the energy figure compares, baseline
+// first.
+var energyDesigns = []core.Design{
+	core.Standard, core.SAS, core.CHARM, core.DAS, core.DASFM, core.FS,
+}
+
+// energyDesignCols are the column headers matching energyDesigns.
+var energyDesignCols = []string{
+	"Standard", "SAS-DRAM", "CHARM", "DAS-DRAM", "DAS-DRAM(FM)", "FS-DRAM",
+}
+
+// EnergyFigure renders the perf-per-watt comparison of all six designs
+// under the analytical energy model (internal/energy): instructions per
+// microjoule of DRAM energy, energy-delay product relative to Standard,
+// and a per-command pJ/instruction decomposition. Pure accounting over
+// runs the other figures already share — rendering it never changes any
+// command stream or figure byte.
+func (s *Session) EnergyFigure() (*Figure, error) {
+	names := s.singles()
+	perWatt := &stats.Table{
+		Title:  "Perf/watt: instructions per microjoule of DRAM energy",
+		Header: append([]string{"workload"}, energyDesignCols...),
+	}
+	edp := &stats.Table{
+		Title:  "Energy-delay product relative to Standard (lower is better)",
+		Header: append([]string{"workload"}, energyDesignCols...),
+	}
+	ipuj := make(map[core.Design][]float64)
+	edps := make(map[core.Design][]float64)
+	// Per-design component accumulation (exact integer pJ) for the
+	// decomposition table.
+	sumE := make(map[core.Design]*energy.Breakdown)
+	sumInstr := make(map[core.Design]uint64)
+	for _, d := range energyDesigns {
+		sumE[d] = &energy.Breakdown{}
+	}
+	for _, name := range names {
+		set := []string{name}
+		base, err := s.Baseline(set)
+		if err != nil {
+			return nil, err
+		}
+		baseEDP := float64(base.Energy.TotalPJ()) * base.SimulatedNS
+		pRow, eRow := []string{name}, []string{name}
+		for _, d := range energyDesigns {
+			res, err := s.Cached(s.Cfg, d, set)
+			if err != nil {
+				return nil, fmt.Errorf("energy: %s/%v: %w", name, d, err)
+			}
+			uj := float64(res.Energy.TotalPJ()) / 1e6
+			perUJ := 0.0
+			if uj > 0 {
+				perUJ = float64(res.InstrsTotal) / uj
+			}
+			rel := 0.0
+			if baseEDP > 0 {
+				rel = float64(res.Energy.TotalPJ()) * res.SimulatedNS / baseEDP
+			}
+			ipuj[d] = append(ipuj[d], perUJ)
+			edps[d] = append(edps[d], rel)
+			pRow = append(pRow, fmt.Sprintf("%.0f", perUJ))
+			eRow = append(eRow, fmt.Sprintf("%.3f", rel))
+			accumulateBreakdown(sumE[d], res.Energy)
+			sumInstr[d] += res.InstrsTotal
+		}
+		perWatt.AddRow(pRow...)
+		edp.AddRow(eRow...)
+	}
+	pGm, eGm := []string{"gmean"}, []string{"gmean"}
+	for _, d := range energyDesigns {
+		g, err := stats.GmeanErr(ipuj[d])
+		if err != nil {
+			return nil, fmt.Errorf("energy: %v instr/uJ gmean: %w", d, err)
+		}
+		pGm = append(pGm, fmt.Sprintf("%.0f", g))
+		g, err = stats.GmeanErr(edps[d])
+		if err != nil {
+			return nil, fmt.Errorf("energy: %v EDP gmean: %w", d, err)
+		}
+		eGm = append(eGm, fmt.Sprintf("%.3f", g))
+	}
+	perWatt.AddRow(pGm...)
+	edp.AddRow(eGm...)
+	perWatt.Caption = "DRAM energy = per-command dynamic energy (bitline-length scaled) + background power over the simulated interval."
+	edp.Caption = "EDP = total DRAM energy x simulated time, normalized to the Standard run of the same workload."
+
+	decomp := &stats.Table{
+		Title: "DRAM energy decomposition (pJ per instruction, summed over workloads)",
+		Header: []string{"design", "act", "pre", "rd", "wr",
+			"ref", "mig", "background", "total"},
+	}
+	for i, d := range energyDesigns {
+		b := sumE[d]
+		per := func(pj int64) string {
+			if sumInstr[d] == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", float64(pj)/float64(sumInstr[d]))
+		}
+		decomp.AddRow(energyDesignCols[i],
+			per(b.ActSlowPJ+b.ActFastPJ), per(b.PreSlowPJ+b.PreFastPJ),
+			per(b.RdSlowPJ+b.RdFastPJ), per(b.WrSlowPJ+b.WrFastPJ),
+			per(b.RefPJ), per(b.MigPJ), per(b.BackgroundPJ), per(b.TotalPJ()))
+	}
+	decomp.Caption = "Fast-subarray commands are cheaper per event (shorter bitlines); migrations and translation traffic add energy the latency figures do not show."
+	return &Figure{
+		ID:     "Energy",
+		Title:  "Performance per watt (analytical energy model)",
+		Tables: []*stats.Table{perWatt, edp, decomp},
+	}, nil
+}
+
+// accumulateBreakdown adds b into dst field by field (exact integer pJ).
+func accumulateBreakdown(dst *energy.Breakdown, b energy.Breakdown) {
+	dst.ActSlowPJ += b.ActSlowPJ
+	dst.ActFastPJ += b.ActFastPJ
+	dst.PreSlowPJ += b.PreSlowPJ
+	dst.PreFastPJ += b.PreFastPJ
+	dst.RdSlowPJ += b.RdSlowPJ
+	dst.RdFastPJ += b.RdFastPJ
+	dst.WrSlowPJ += b.WrSlowPJ
+	dst.WrFastPJ += b.WrFastPJ
+	dst.RefPJ += b.RefPJ
+	dst.MigPJ += b.MigPJ
+	dst.BackgroundPJ += b.BackgroundPJ
 }
 
 // Table1 renders the system configuration (Table 1).

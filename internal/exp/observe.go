@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/reqtrace"
 )
@@ -71,6 +72,12 @@ type Observer struct {
 
 	shardProf  bool
 	nextSnapPS int64
+	// snapPS is the simulated time the latest snapshot was taken at, set
+	// before polling the registries. Rate-derived samples (background
+	// energy) read it instead of an engine clock so sequential and
+	// parallel runs — whose memory-side engine may sit at a different
+	// point within the same epoch barrier — snapshot identical values.
+	snapPS int64
 }
 
 // newObserver builds the per-run bundle for the session's options. seed
@@ -107,6 +114,7 @@ func (o *Observer) maybeSnap(nowPS int64) {
 	if o == nil || o.Timeline == nil || nowPS < o.nextSnapPS {
 		return
 	}
+	o.snapPS = nowPS
 	o.Timeline.Snap(nowPS, o.Reg, o.RegMC)
 	interval := o.Timeline.IntervalPS
 	o.nextSnapPS = (nowPS/interval + 1) * interval
@@ -114,7 +122,11 @@ func (o *Observer) maybeSnap(nowPS int64) {
 
 // finish takes the end-of-run snapshot.
 func (o *Observer) finish(nowPS int64) {
-	if o == nil || o.Timeline == nil {
+	if o == nil {
+		return
+	}
+	o.snapPS = nowPS
+	if o.Timeline == nil {
 		return
 	}
 	o.Timeline.Snap(nowPS, o.Reg, o.RegMC)
@@ -145,6 +157,21 @@ func (s *System) AttachObserver(obs *Observer) {
 	}
 	s.Dev.AttachTelemetry(regMC)
 	s.Ctl.AttachTelemetry(regMC, traceMC)
+	if regMC.Enabled() {
+		// Background/standby energy is a rate (mW x elapsed ns = pJ), not
+		// an event count, so it is derived from the snapshot's timestamp
+		// rather than accumulated per command. The observer's snap clock —
+		// not an engine clock — keeps the value byte-identical between
+		// sequential and parallel runs: at an epoch barrier the memory-side
+		// engine may legitimately sit at a different instant than the
+		// observation point that stamps the timeline row.
+		g := s.Dev.Geometry()
+		ranks := g.Channels * g.Ranks
+		em := s.Dev.EnergyModel()
+		regMC.Sample("dram.energy_pj.background", func() int64 {
+			return em.BackgroundPJ(ranks, obs.snapPS/int64(sim.Nanosecond))
+		})
+	}
 	s.Mgr.AttachTelemetry(reg, obs.Trace)
 	if inj := s.Mgr.Faults(); inj != nil {
 		inj.AttachTelemetry(reg)
@@ -181,10 +208,11 @@ func (s *System) AttachObserver(obs *Observer) {
 	}
 	if obs.Req != nil {
 		if obs.Trace != nil {
-			// Core request tracks are numbered after the controller's bank
-			// and rank-refresh tracks (see mc's bankTID/rankTID).
+			// Core request tracks are numbered after the controller's bank,
+			// rank-refresh and cumulative-energy tracks (see mc's
+			// bankTID/rankTID/energyTID).
 			g := s.Dev.Geometry()
-			base := g.Channels*g.Ranks*g.Banks + g.Channels*g.Ranks
+			base := g.Channels*g.Ranks*g.Banks + g.Channels*g.Ranks + 1
 			obs.Req.AttachTrace(obs.Trace, base)
 			for i := range s.Cores {
 				obs.Trace.DefineTrack(base+i, fmt.Sprintf("core%d req", i))

@@ -63,8 +63,8 @@ func TestTelemetrySinksDeterministic(t *testing.T) {
 // TestTraceExportIsValidTraceEventJSON validates the exporter against
 // the Chrome trace-event schema: top-level traceEvents array, every
 // event carrying name/ph/pid/tid, complete events a non-negative
-// ts+dur, instant events a scope, flow events an id, and metadata
-// naming each process.
+// ts+dur, instant events a scope, flow events an id, counter events an
+// args.value, and metadata naming each process.
 func TestTraceExportIsValidTraceEventJSON(t *testing.T) {
 	_, _, trace := observedFig7a(t, 1)
 	var doc struct {
@@ -90,7 +90,7 @@ func TestTraceExportIsValidTraceEventJSON(t *testing.T) {
 	if len(doc.TraceEvents) == 0 {
 		t.Fatal("no trace events emitted")
 	}
-	var processes, complete, instant, flows int
+	var processes, complete, instant, flows, counters int
 	for i, e := range doc.TraceEvents {
 		if e.Name == nil || e.Ph == nil || e.Pid == nil || e.Tid == nil {
 			t.Fatalf("event %d missing required field: %+v", i, e)
@@ -115,6 +115,14 @@ func TestTraceExportIsValidTraceEventJSON(t *testing.T) {
 			if e.Ts == nil || e.ID == "" {
 				t.Fatalf("flow event %d lacks ts/id: %+v", i, e)
 			}
+		case "C":
+			counters++
+			if e.Ts == nil || *e.Ts < 0 {
+				t.Fatalf("counter event %d lacks non-negative ts: %+v", i, e)
+			}
+			if _, ok := e.Args["value"]; !ok {
+				t.Fatalf("counter event %d lacks args.value: %+v", i, e)
+			}
 		default:
 			t.Fatalf("event %d has unexpected phase %q", i, *e.Ph)
 		}
@@ -127,6 +135,9 @@ func TestTraceExportIsValidTraceEventJSON(t *testing.T) {
 	}
 	if flows == 0 || flows%2 != 0 {
 		t.Errorf("request flow events = %d, want a positive even count (start/end pairs)", flows)
+	}
+	if counters == 0 {
+		t.Error("no cumulative-energy counter events emitted")
 	}
 	_ = instant // fault events only appear on faulty-device runs
 }

@@ -42,6 +42,12 @@ func TestExplainInvariantHoldsOnRealRuns(t *testing.T) {
 		if v := o.Req.Violations(); v != 0 {
 			t.Errorf("%s: %d invariant violation(s); first: %s", o.Label, v, o.Req.FirstViolation())
 		}
+		if v := o.Req.EnergyViolations(); v != 0 {
+			t.Errorf("%s: %d energy violation(s); first: %s", o.Label, v, o.Req.FirstEnergyViolation())
+		}
+		if o.Req.EnergySumPJ() <= 0 {
+			t.Errorf("%s: no energy attributed to traced requests", o.Label)
+		}
 	}
 	// Two designs x two workloads.
 	if recorders != 4 {
@@ -100,7 +106,7 @@ func TestReqTraceExportFromSession(t *testing.T) {
 	if !bytes.Equal(csv1.Bytes(), csv2.Bytes()) {
 		t.Fatal("request-trace CSV not deterministic across writes")
 	}
-	if !strings.Contains(csv1.String(), "run,requests,violations,component,sum_ns,mean_ns,share_pct,p50_ns,p95_ns,p99_ns") {
+	if !strings.Contains(csv1.String(), "run,requests,violations,energy_violations,component,sum_ns,mean_ns,share_pct,p50_ns,p95_ns,p99_ns,energy_pj,energy_mean_pj") {
 		t.Fatalf("CSV header missing:\n%.300s", csv1.String())
 	}
 	for _, comp := range []string{"total", "cache", "queue", "service", "fill"} {

@@ -60,6 +60,11 @@ type Session struct {
 	// that stays comparable across engine rewrites.
 	instrs atomic.Uint64
 
+	// energyPJ totals modeled DRAM energy (dynamic plus background,
+	// exact integer picojoules) across this session's fresh runs, feeding
+	// the benchmark suite's pJ/instr metric.
+	energyPJ atomic.Int64
+
 	// live is the streaming-progress view of the same totals, advanced
 	// while runs are in flight (see progress.go). events/instrs above
 	// keep their end-of-run semantics; live serves watchdogs and SSE.
@@ -139,6 +144,10 @@ func (s *Session) EventsExecuted() uint64 { return s.events.Load() }
 // session performed (memoized results count once, when they ran).
 func (s *Session) InstrsRetired() uint64 { return s.instrs.Load() }
 
+// EnergyPJ reports the total modeled DRAM energy (dynamic plus
+// background, exact integer picojoules) of runs this session performed.
+func (s *Session) EnergyPJ() int64 { return s.energyPJ.Load() }
+
 // countRun folds one fresh run's totals into the session counters.
 func (s *Session) countRun(res *Result) {
 	if res == nil {
@@ -150,6 +159,7 @@ func (s *Session) countRun(res *Result) {
 		n += c.Retired
 	}
 	s.instrs.Add(n)
+	s.energyPJ.Add(res.Energy.TotalPJ())
 }
 
 // Baseline runs (once) the Standard design for the benchmark set.

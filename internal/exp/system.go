@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/energy"
 	"repro/internal/fault"
 	"repro/internal/mc"
 	"repro/internal/sim"
@@ -405,8 +406,17 @@ type Result struct {
 	AvgReadLatencyNS float64
 	ReadLatHist      [6]uint64 // <50, <100, <200, <500, <1000, >=1000 ns
 	EnergyProxy      float64   // relative DRAM access-energy estimate (§7.7)
-	SimulatedNS      float64
-	Events           uint64
+	// Energy is the exact integer-picojoule decomposition of the
+	// measurement window's DRAM energy, priced by internal/energy from the
+	// device's per-class command counts plus background power over the
+	// simulated interval. Pure accounting on counters the run already
+	// keeps: it is always filled, needs no telemetry attachment, and can
+	// never perturb timing. (EnergyProxy above is the frozen §7.7 coarse
+	// relative estimate the power figure keeps rendering.)
+	Energy      energy.Breakdown
+	InstrsTotal uint64 // retired instructions summed over cores
+	SimulatedNS float64
+	Events      uint64
 
 	// Faults aggregates the manager's degradation activity and Injected
 	// the raw injector decisions; both are zero on a perfect device.
@@ -454,6 +464,12 @@ func (s *System) collect() *Result {
 		r.FilterRejects = f.Rejects
 	}
 	r.EnergyProxy = energyProxy(r.DevStats)
+	for _, c := range s.Cores {
+		r.InstrsTotal += c.Stats.Retired
+	}
+	g := s.Dev.Geometry()
+	r.Energy = s.Dev.EnergyModel().Breakdown(
+		r.DevStats.EnergyCounts(), g.Channels*g.Ranks, int64(s.Eng.Now()/sim.Nanosecond))
 	r.SimulatedNS = s.Eng.Now().NS()
 	r.Events = s.Eng.Executed()
 	if s.Par != nil {

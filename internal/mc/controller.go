@@ -495,14 +495,15 @@ func (cc *chanCtl) issueMigration(t sim.Time) bool {
 // are credited, including those beyond the scheduling window — they are
 // blocked by the occupancy all the same.
 func (cc *chanCtl) creditBlocked(rank, bank int, d sim.Time, refresh bool) {
+	em := cc.ctl.dev.EnergyModel()
 	for _, req := range cc.traced {
 		if req.Coord.Rank != rank || (bank >= 0 && req.Coord.Bank != bank) || !req.Trace.Waiting() {
 			continue
 		}
 		if refresh {
-			req.Trace.CreditRefresh(d)
+			req.Trace.CreditRefresh(d, em.RefPJ)
 		} else {
-			req.Trace.CreditMigration(d)
+			req.Trace.CreditMigration(d, em.MigPJ)
 		}
 	}
 }
@@ -634,7 +635,8 @@ func (cc *chanCtl) issueColumnFrom(t sim.Time, q []*Request, isWrite bool) bool 
 				tel.noteColumn(t, end, cc.idx, req, false)
 			}
 			if req.Trace != nil {
-				req.Trace.StampRead(t, end)
+				cls := cc.ch.Rank(req.Coord.Rank).Bank(req.Coord.Bank).OpenClass()
+				req.Trace.StampRead(t, end, cc.ctl.dev.EnergyModel().RdPJ[cls])
 				cc.dropTraced(req)
 			}
 			cc.completeRead(req, end)
@@ -684,7 +686,7 @@ func (cc *chanCtl) issueRowCommandFrom(t sim.Time, q []*Request) bool {
 					tel.notePRE(t, cc.idx, req.Coord.Rank, req.Coord.Bank, cls, true)
 				}
 				if req.Trace != nil {
-					req.Trace.StampPre(t)
+					req.Trace.StampPre(t, cc.ctl.dev.EnergyModel().PrePJ[cls])
 				}
 				return true
 			}
@@ -697,7 +699,7 @@ func (cc *chanCtl) issueRowCommandFrom(t sim.Time, q []*Request) bool {
 				tel.noteACT(t, cc.idx, req)
 			}
 			if req.Trace != nil {
-				req.Trace.StampAct(t)
+				req.Trace.StampAct(t, cc.ctl.dev.EnergyModel().ActPJ[req.Class])
 			}
 			return true
 		}

@@ -23,6 +23,12 @@ type mcTelemetry struct {
 	dev   *dram.Device
 
 	ranks, banks, bankTracks int
+
+	// energyTID is the cumulative-energy counter track (numbered after
+	// the bank and rank-refresh tracks); cumEnergyPJ is the running total
+	// it samples, advanced by every traced DRAM command at its issue time.
+	energyTID   int
+	cumEnergyPJ int64
 }
 
 // AttachTelemetry wires the controller's metrics into reg and its DRAM
@@ -46,6 +52,7 @@ func (c *Controller) AttachTelemetry(reg *telemetry.Registry, trace *telemetry.T
 		banks:        g.Banks,
 		bankTracks:   g.Channels * g.Ranks * g.Banks,
 	}
+	tel.energyTID = tel.bankTracks + g.Channels*g.Ranks
 	for i, cc := range c.chans {
 		cc := cc
 		reg.Sample(fmt.Sprintf("mc.queue.ch%d.read", i), func() int64 { return int64(len(cc.readQ)) })
@@ -61,6 +68,7 @@ func (c *Controller) AttachTelemetry(reg *telemetry.Registry, trace *telemetry.T
 				trace.DefineTrack(tel.rankTID(ch, r), fmt.Sprintf("ch%d/rk%d refresh", ch, r))
 			}
 		}
+		trace.DefineTrack(tel.energyTID, "DRAM energy (cumulative pJ)")
 	}
 	c.tel = tel
 }
@@ -73,6 +81,14 @@ func (tl *mcTelemetry) bankTID(channel, rank, bank int) int {
 // rankTID is the per-rank refresh track id (numbered after all banks).
 func (tl *mcTelemetry) rankTID(channel, rank int) int {
 	return tl.bankTracks + channel*tl.ranks + rank
+}
+
+// noteEnergy advances the cumulative dynamic-energy counter by pj and
+// samples it on the energy track at time t. Trace-only: the metrics-side
+// energy counters live on the device's telemetry.
+func (tl *mcTelemetry) noteEnergy(t sim.Time, pj int64) {
+	tl.cumEnergyPJ += pj
+	tl.trace.Counter("energy_pj", int64(t), tl.energyTID, tl.cumEnergyPJ)
 }
 
 // noteACT records a demand row-miss activation.
@@ -89,6 +105,7 @@ func (tl *mcTelemetry) noteACT(t sim.Time, channel int, req *Request) {
 	}
 	tl.trace.Duration(name, int64(t), int64(p.Duration(p.TRCD)),
 		tl.bankTID(channel, req.Coord.Rank, req.Coord.Bank), int64(req.Coord.Row))
+	tl.noteEnergy(t, tl.dev.EnergyModel().ActPJ[req.Class])
 }
 
 // notePRE records a precharge on a bank track. cls is the class of the
@@ -107,6 +124,7 @@ func (tl *mcTelemetry) notePRE(t sim.Time, channel, rank, bank int, cls dram.Row
 	}
 	tl.trace.Duration("PRE", int64(t), int64(p.Duration(p.TRP)),
 		tl.bankTID(channel, rank, bank), -1)
+	tl.noteEnergy(t, tl.dev.EnergyModel().PrePJ[cls])
 }
 
 // noteColumn records a RD or WR burst [t, end) and its request latency.
@@ -122,6 +140,12 @@ func (tl *mcTelemetry) noteColumn(t, end sim.Time, channel int, req *Request, is
 	if tl.trace != nil {
 		tl.trace.Duration(name, int64(t), int64(end-t),
 			tl.bankTID(channel, req.Coord.Rank, req.Coord.Bank), int64(req.Coord.Row))
+		em := tl.dev.EnergyModel()
+		if isWrite {
+			tl.noteEnergy(t, em.WrPJ[req.Class])
+		} else {
+			tl.noteEnergy(t, em.RdPJ[req.Class])
+		}
 	}
 	if req.Trace != nil && !isWrite {
 		// Lets reqtrace link a Perfetto flow arrow from the core's REQ
@@ -137,6 +161,7 @@ func (tl *mcTelemetry) noteREF(t sim.Time, channel, rank int) {
 	}
 	p := tl.dev.SlowParams()
 	tl.trace.Duration("REF", int64(t), int64(p.Duration(p.TRFC)), tl.rankTID(channel, rank), -1)
+	tl.noteEnergy(t, tl.dev.EnergyModel().RefPJ)
 }
 
 // noteMIG records a migration swap occupying [t, end) on the bank track.
@@ -145,4 +170,5 @@ func (tl *mcTelemetry) noteMIG(t, end sim.Time, channel, rank, bank, row int) {
 		return
 	}
 	tl.trace.Duration("MIG", int64(t), int64(end-t), tl.bankTID(channel, rank, bank), int64(row))
+	tl.noteEnergy(t, tl.dev.EnergyModel().MigPJ)
 }

@@ -79,9 +79,23 @@ func Percent(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
 // at least q of the sample is <= it. Nearest rank returns an actual
 // observation (no interpolation), so p99 of a latency sample is a
 // latency that really occurred. An empty sample yields 0; q is clamped.
+// Callers that must distinguish "no data" from a genuine zero quantile
+// should use PercentileErr.
 func Percentile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
+	p, err := PercentileErr(xs, q)
+	if err != nil {
 		return 0
+	}
+	return p
+}
+
+// PercentileErr is Percentile with an explicit empty-sample error: a
+// percentile of nothing is undefined, and reporting paths that print
+// quantiles of measured samples should surface that instead of a
+// silent 0.
+func PercentileErr(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: percentile of empty sample")
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -92,7 +106,7 @@ func Percentile(xs []float64, q float64) float64 {
 	if rank > len(sorted) {
 		rank = len(sorted)
 	}
-	return sorted[rank-1]
+	return sorted[rank-1], nil
 }
 
 // Dist is a three-way access-location distribution (Figures 7c/7f/8b).

@@ -184,3 +184,45 @@ func TestPercentile(t *testing.T) {
 		t.Errorf("p73 of 1..5 = %v, want 4 (ceil(0.73*5) = 4th)", got)
 	}
 }
+
+func TestPercentileErr(t *testing.T) {
+	cases := []struct {
+		name    string
+		xs      []float64
+		q       float64
+		want    float64
+		wantErr bool
+	}{
+		{name: "empty", xs: nil, q: 0.5, wantErr: true},
+		{name: "empty slice", xs: []float64{}, q: 0.99, wantErr: true},
+		{name: "single p0", xs: []float64{7}, q: 0, want: 7},
+		{name: "single p50", xs: []float64{7}, q: 0.5, want: 7},
+		{name: "single p100", xs: []float64{7}, q: 1, want: 7},
+		{name: "duplicates p50", xs: []float64{2, 2, 2, 2}, q: 0.5, want: 2},
+		{name: "duplicates mixed", xs: []float64{1, 3, 3, 3, 9}, q: 0.5, want: 3},
+		{name: "duplicates p99", xs: []float64{1, 3, 3, 3, 9}, q: 0.99, want: 9},
+		{name: "zero value is data", xs: []float64{0, 0}, q: 0.95, want: 0},
+		{name: "clamp low", xs: []float64{4, 8}, q: -1, want: 4},
+		{name: "clamp high", xs: []float64{4, 8}, q: 2, want: 8},
+	}
+	for _, c := range cases {
+		got, err := PercentileErr(c.xs, c.q)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: PercentileErr(%v, %v) = %v, want error", c.name, c.xs, c.q, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error: %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: PercentileErr(%v, %v) = %v, want %v", c.name, c.xs, c.q, got, c.want)
+		}
+	}
+	// The delegating Percentile maps the error case to 0.
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}

@@ -15,11 +15,14 @@ import (
 // merges every workload of a design into one vector). The zero value is
 // ready to use.
 type Aggregate struct {
-	Requests   uint64
-	Violations uint64
-	totalSumPS int64
-	compSumPS  [NumComponents]int64
-	totalHist  telemetry.Histogram
+	Requests         uint64
+	Violations       uint64
+	EnergyViolations uint64
+	totalSumPS       int64
+	compSumPS        [NumComponents]int64
+	totalHist        telemetry.Histogram
+	energySumPJ      int64
+	energyCompSumPJ  [NumComponents]int64
 }
 
 // AddTo merges this recorder's aggregation into a.
@@ -29,9 +32,12 @@ func (r *Recorder) AddTo(a *Aggregate) {
 	}
 	a.Requests += r.count
 	a.Violations += r.violations
+	a.EnergyViolations += r.energyViolations
 	a.totalSumPS += r.totalSumPS
+	a.energySumPJ += r.energySumPJ
 	for i := range r.compSumPS {
 		a.compSumPS[i] += r.compSumPS[i]
+		a.energyCompSumPJ[i] += r.energyCompSumPJ[i]
 	}
 	a.totalHist.Merge(&r.totalHist)
 }
@@ -58,30 +64,61 @@ func (a *Aggregate) TotalQuantileNS(q float64) uint64 {
 	return a.totalHist.Quantile(q)
 }
 
+// EnergyMeanPJ returns the mean attributed energy per request (pJ).
+func (a *Aggregate) EnergyMeanPJ() float64 {
+	if a.Requests == 0 {
+		return 0
+	}
+	return float64(a.energySumPJ) / float64(a.Requests)
+}
+
+// ComponentEnergyMeanPJ returns component c's mean attributed energy
+// per request (pJ).
+func (a *Aggregate) ComponentEnergyMeanPJ(c Component) float64 {
+	if a.Requests == 0 {
+		return 0
+	}
+	return float64(a.energyCompSumPJ[c]) / float64(a.Requests)
+}
+
+// EnergySumPJ returns the merged attributed energy (exact integer pJ).
+func (a *Aggregate) EnergySumPJ() int64 { return a.energySumPJ }
+
+// ComponentEnergySumPJ returns component c's merged attributed energy
+// (exact integer pJ).
+func (a *Aggregate) ComponentEnergySumPJ(c Component) int64 {
+	return a.energyCompSumPJ[c]
+}
+
 // EncodeCSV writes every recorder's waterfall as long-form CSV:
 // one "total" row per run followed by one row per component, runs
 // sorted by label so merged output is independent of completion order.
+// The energy_pj column is an exact integer picojoule sum: the component
+// rows of a run sum to its total row with ==, which is the
+// conservation property check.sh gates on.
 func EncodeCSV(w io.Writer, recs []*Recorder) error {
 	bw := bufio.NewWriterSize(w, 1<<14)
 	if _, err := bw.WriteString(
-		"run,requests,violations,component,sum_ns,mean_ns,share_pct,p50_ns,p95_ns,p99_ns\n"); err != nil {
+		"run,requests,violations,energy_violations,component,sum_ns,mean_ns,share_pct,p50_ns,p95_ns,p99_ns,energy_pj,energy_mean_pj\n"); err != nil {
 		return err
 	}
 	for _, r := range sortedLive(recs) {
 		totalSum := float64(r.totalSumPS) / psPerNS
-		fmt.Fprintf(bw, "%s,%d,%d,total,%.3f,%.3f,100.00,%d,%d,%d\n",
-			csvField(r.label), r.count, r.violations,
+		fmt.Fprintf(bw, "%s,%d,%d,%d,total,%.3f,%.3f,100.00,%d,%d,%d,%d,%.1f\n",
+			csvField(r.label), r.count, r.violations, r.energyViolations,
 			totalSum, r.TotalMeanNS(),
-			r.totalHist.Quantile(0.50), r.totalHist.Quantile(0.95), r.totalHist.Quantile(0.99))
+			r.totalHist.Quantile(0.50), r.totalHist.Quantile(0.95), r.totalHist.Quantile(0.99),
+			r.energySumPJ, r.EnergyMeanPJ())
 		for c := Component(0); c < NumComponents; c++ {
 			share := 0.0
 			if totalSum > 0 {
 				share = 100 * r.ComponentSumNS(c) / totalSum
 			}
-			fmt.Fprintf(bw, "%s,%d,%d,%v,%.3f,%.3f,%.2f,%d,%d,%d\n",
-				csvField(r.label), r.count, r.violations, c,
+			fmt.Fprintf(bw, "%s,%d,%d,%d,%v,%.3f,%.3f,%.2f,%d,%d,%d,%d,%.1f\n",
+				csvField(r.label), r.count, r.violations, r.energyViolations, c,
 				r.ComponentSumNS(c), r.ComponentMeanNS(c), share,
-				r.compHist[c].Quantile(0.50), r.compHist[c].Quantile(0.95), r.compHist[c].Quantile(0.99))
+				r.compHist[c].Quantile(0.50), r.compHist[c].Quantile(0.95), r.compHist[c].Quantile(0.99),
+				r.energyCompSumPJ[c], r.ComponentEnergyMeanPJ(c))
 		}
 	}
 	return bw.Flush()
@@ -89,22 +126,25 @@ func EncodeCSV(w io.Writer, recs []*Recorder) error {
 
 // componentJSON is one component's aggregated attribution.
 type componentJSON struct {
-	Name     string  `json:"name"`
-	SumNS    float64 `json:"sum_ns"`
-	MeanNS   float64 `json:"mean_ns"`
-	SharePct float64 `json:"share_pct"`
-	P50NS    uint64  `json:"p50_ns"`
-	P95NS    uint64  `json:"p95_ns"`
-	P99NS    uint64  `json:"p99_ns"`
+	Name         string  `json:"name"`
+	SumNS        float64 `json:"sum_ns"`
+	MeanNS       float64 `json:"mean_ns"`
+	SharePct     float64 `json:"share_pct"`
+	P50NS        uint64  `json:"p50_ns"`
+	P95NS        uint64  `json:"p95_ns"`
+	P99NS        uint64  `json:"p99_ns"`
+	EnergyPJ     int64   `json:"energy_pj"`
+	EnergyMeanPJ float64 `json:"energy_mean_pj"`
 }
 
 // runJSON is one run's waterfall document.
 type runJSON struct {
-	Run        string          `json:"run"`
-	Requests   uint64          `json:"requests"`
-	Violations uint64          `json:"violations"`
-	Total      componentJSON   `json:"total"`
-	Components []componentJSON `json:"components"`
+	Run              string          `json:"run"`
+	Requests         uint64          `json:"requests"`
+	Violations       uint64          `json:"violations"`
+	EnergyViolations uint64          `json:"energy_violations"`
+	Total            componentJSON   `json:"total"`
+	Components       []componentJSON `json:"components"`
 }
 
 // EncodeJSON writes every recorder's waterfall as one JSON array, runs
@@ -115,9 +155,11 @@ func EncodeJSON(w io.Writer, recs []*Recorder) error {
 		totalSum := float64(r.totalSumPS) / psPerNS
 		doc := runJSON{
 			Run: r.label, Requests: r.count, Violations: r.violations,
+			EnergyViolations: r.energyViolations,
 			Total: componentJSON{
 				Name: "total", SumNS: totalSum, MeanNS: r.TotalMeanNS(), SharePct: 100,
 				P50NS: r.totalHist.Quantile(0.50), P95NS: r.totalHist.Quantile(0.95), P99NS: r.totalHist.Quantile(0.99),
+				EnergyPJ: r.energySumPJ, EnergyMeanPJ: r.EnergyMeanPJ(),
 			},
 		}
 		for c := Component(0); c < NumComponents; c++ {
@@ -128,6 +170,7 @@ func EncodeJSON(w io.Writer, recs []*Recorder) error {
 			doc.Components = append(doc.Components, componentJSON{
 				Name: c.String(), SumNS: r.ComponentSumNS(c), MeanNS: r.ComponentMeanNS(c), SharePct: share,
 				P50NS: r.compHist[c].Quantile(0.50), P95NS: r.compHist[c].Quantile(0.95), P99NS: r.compHist[c].Quantile(0.99),
+				EnergyPJ: r.energyCompSumPJ[c], EnergyMeanPJ: r.ComponentEnergyMeanPJ(c),
 			})
 		}
 		out = append(out, doc)

@@ -20,6 +20,18 @@
 //     to its end-to-end latency by construction (the decomposition
 //     telescopes over the stamped transitions); Finish verifies the sum
 //     and counts violations instead of silently misattributing.
+//
+// Alongside latency, every stamp that corresponds to a DRAM command
+// carries that command's energy in integer picojoules (priced by
+// internal/energy through the device). The span accumulates the energy
+// twice — once into the per-component ledger and once into an
+// independent running total — and Finish checks the two agree exactly,
+// mirroring the latency telescoping invariant: a new stamp site that
+// updates one side but not the other is caught as a counted violation
+// rather than a silent attribution hole. Blocking commands (refresh,
+// migration) attribute their full command energy to each sampled
+// request they blocked: sampled spans are a sparse causal view of the
+// machine, not a partition of its energy.
 package reqtrace
 
 import (
@@ -100,6 +112,16 @@ type Span struct {
 	refCredit sim.Time // refresh windows overlapping the queue wait
 	migCredit sim.Time // migration windows overlapping the queue wait
 	bankTID   int      // serving bank's trace track (-1 until the burst)
+
+	// Energy ledger (integer picojoules). Each stamp adds its command's
+	// energy to the matching component field AND to eTotalPJ; Finish
+	// verifies the component sum equals eTotalPJ exactly.
+	ePrePJ   int64 // conflict precharges issued for this request
+	eActPJ   int64 // activations issued for this request
+	eRdPJ    int64 // the column read burst
+	eRefPJ   int64 // refresh commands that blocked this request
+	eMigPJ   int64 // migration swaps that blocked this request
+	eTotalPJ int64 // independent running total of all of the above
 }
 
 // reset re-arms a pooled span for a new request.
@@ -134,45 +156,61 @@ func (sp *Span) StampEnqueue(t sim.Time) {
 	}
 }
 
-// StampPre records a row-conflict precharge issued for this request.
-// The first PRE wins: later re-closes (a sibling stealing the bank)
-// extend the conflict window rather than restarting it.
-func (sp *Span) StampPre(t sim.Time) {
-	if sp != nil && sp.preAt == unset {
+// StampPre records a row-conflict precharge issued for this request,
+// costing pj picojoules. The first PRE's time wins — later re-closes (a
+// sibling stealing the bank) extend the conflict window rather than
+// restarting it — but every PRE's energy accumulates.
+func (sp *Span) StampPre(t sim.Time, pj int64) {
+	if sp == nil {
+		return
+	}
+	if sp.preAt == unset {
 		sp.preAt = t
 	}
+	sp.ePrePJ += pj
+	sp.eTotalPJ += pj
 }
 
-// StampAct records an activation issued for this request. The last ACT
-// wins: if the opened row is closed by an intervening conflict, service
-// is measured from the activation that actually fed the burst.
-func (sp *Span) StampAct(t sim.Time) {
+// StampAct records an activation issued for this request, costing pj
+// picojoules. The last ACT's time wins: if the opened row is closed by
+// an intervening conflict, service is measured from the activation that
+// actually fed the burst. Every ACT's energy accumulates.
+func (sp *Span) StampAct(t sim.Time, pj int64) {
 	if sp != nil {
 		sp.actAt = t
+		sp.eActPJ += pj
+		sp.eTotalPJ += pj
 	}
 }
 
-// StampRead records the column read and its data burst end.
-func (sp *Span) StampRead(t, end sim.Time) {
+// StampRead records the column read and its data burst end, costing pj
+// picojoules.
+func (sp *Span) StampRead(t, end sim.Time, pj int64) {
 	if sp != nil && sp.rdAt == unset {
 		sp.rdAt = t
 		sp.burstEnd = end
+		sp.eRdPJ += pj
+		sp.eTotalPJ += pj
 	}
 }
 
 // CreditRefresh attributes a refresh occupancy window to this span's
-// queue wait.
-func (sp *Span) CreditRefresh(d sim.Time) {
+// queue wait, along with the blocking REF command's energy.
+func (sp *Span) CreditRefresh(d sim.Time, pj int64) {
 	if sp != nil {
 		sp.refCredit += d
+		sp.eRefPJ += pj
+		sp.eTotalPJ += pj
 	}
 }
 
 // CreditMigration attributes a migration occupancy window to this
-// span's queue wait.
-func (sp *Span) CreditMigration(d sim.Time) {
+// span's queue wait, along with the blocking swap's energy.
+func (sp *Span) CreditMigration(d sim.Time, pj int64) {
 	if sp != nil {
 		sp.migCredit += d
+		sp.eMigPJ += pj
+		sp.eTotalPJ += pj
 	}
 }
 
@@ -247,6 +285,21 @@ func (sp *Span) breakdown(done sim.Time) (comps [NumComponents]sim.Time, total s
 	return comps, total
 }
 
+// energyBreakdown decomposes the span's DRAM energy over the same
+// component axis as the latency decomposition. Only components that
+// correspond to DRAM commands carry energy (cache/xlat/queue/fill are
+// SRAM/bookkeeping time the model does not price, so they are zero):
+// conflict is the closing precharges, service is the activation plus
+// the burst, refresh/migration are the blocking commands credited to
+// the wait.
+func (sp *Span) energyBreakdown() (comps [NumComponents]int64, total int64) {
+	comps[CompConflict] = sp.ePrePJ
+	comps[CompService] = sp.eActPJ + sp.eRdPJ
+	comps[CompRefresh] = sp.eRefPJ
+	comps[CompMigration] = sp.eMigPJ
+	return comps, sp.eTotalPJ
+}
+
 // Recorder owns one run's spans: the pool, the sampling parameters, and
 // the per-component aggregation the waterfall reports render. Like a
 // Registry it belongs to one single-threaded simulated system and needs
@@ -269,6 +322,14 @@ type Recorder struct {
 	compHist   [NumComponents]telemetry.Histogram
 	violations uint64
 	firstBad   string
+
+	// Energy aggregation (integer picojoules) over the same component
+	// axis, with its own violation counter for the ledger-vs-total check.
+	energySumPJ      int64
+	energyCompSumPJ  [NumComponents]int64
+	energyHist       telemetry.Histogram
+	energyViolations uint64
+	firstBadEnergy   string
 }
 
 // NewRecorder builds a recorder tracing one in sampleN demand loads per
@@ -349,12 +410,39 @@ func (r *Recorder) Finish(sp *Span, done sim.Time) {
 				sp.core, int64(sp.issued), int64(done), int64(total), int64(sum), comps)
 		}
 	}
+	ecomps, etotal := sp.energyBreakdown()
+	var esum int64
+	ebad := false
+	for _, e := range ecomps {
+		esum += e
+		if e < 0 {
+			ebad = true
+		}
+	}
+	if esum != etotal || etotal < 0 {
+		ebad = true
+	}
+	if ebad {
+		r.energyViolations++
+		if r.firstBadEnergy == "" {
+			r.firstBadEnergy = fmt.Sprintf(
+				"core %d total=%dpJ sum=%dpJ components=%v",
+				sp.core, etotal, esum, ecomps)
+		}
+	}
 	r.count++
 	r.totalSumPS += int64(total)
 	r.totalHist.Observe(nonNegNS(total))
 	for i := range comps {
 		r.compSumPS[i] += int64(comps[i])
 		r.compHist[i].Observe(nonNegNS(comps[i]))
+	}
+	r.energySumPJ += etotal
+	if etotal >= 0 {
+		r.energyHist.Observe(uint64(etotal))
+	}
+	for i, e := range ecomps {
+		r.energyCompSumPJ[i] += e
 	}
 	if r.trace != nil {
 		tid := r.trackBase + sp.core
@@ -399,6 +487,68 @@ func (r *Recorder) FirstViolation() string {
 		return ""
 	}
 	return r.firstBad
+}
+
+// EnergyViolations reports spans whose energy ledger disagreed with the
+// independently accumulated energy total.
+func (r *Recorder) EnergyViolations() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.energyViolations
+}
+
+// FirstEnergyViolation describes the first energy-invariant failure
+// ("" when none).
+func (r *Recorder) FirstEnergyViolation() string {
+	if r == nil {
+		return ""
+	}
+	return r.firstBadEnergy
+}
+
+// EnergySumPJ returns the total attributed energy across finished spans
+// in exact integer picojoules.
+func (r *Recorder) EnergySumPJ() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.energySumPJ
+}
+
+// EnergyMeanPJ returns the mean attributed energy per request (pJ).
+func (r *Recorder) EnergyMeanPJ() float64 {
+	if r == nil || r.count == 0 {
+		return 0
+	}
+	return float64(r.energySumPJ) / float64(r.count)
+}
+
+// ComponentEnergySumPJ returns component c's attributed energy across
+// finished spans in exact integer picojoules.
+func (r *Recorder) ComponentEnergySumPJ(c Component) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.energyCompSumPJ[c]
+}
+
+// ComponentEnergyMeanPJ returns component c's mean attributed energy
+// per request (pJ).
+func (r *Recorder) ComponentEnergyMeanPJ(c Component) float64 {
+	if r == nil || r.count == 0 {
+		return 0
+	}
+	return float64(r.energyCompSumPJ[c]) / float64(r.count)
+}
+
+// EnergyQuantilePJ returns the q-quantile of per-request attributed
+// energy in picojoules (log2-bucket upper bound).
+func (r *Recorder) EnergyQuantilePJ(q float64) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.energyHist.Quantile(q)
 }
 
 // TotalMeanNS returns the mean end-to-end latency in nanoseconds.

@@ -47,11 +47,11 @@ func TestBreakdownFullServicePath(t *testing.T) {
 	sp := r.Begin(1, sim.FromNS(0))
 	sp.StampXlat(sim.FromNS(20))
 	sp.StampEnqueue(sim.FromNS(50))
-	sp.CreditRefresh(sim.FromNS(30))
-	sp.CreditMigration(sim.FromNS(10))
-	sp.StampPre(sim.FromNS(150))
-	sp.StampAct(sim.FromNS(165))
-	sp.StampRead(sim.FromNS(180), sim.FromNS(195))
+	sp.CreditRefresh(sim.FromNS(30), 800)
+	sp.CreditMigration(sim.FromNS(10), 300)
+	sp.StampPre(sim.FromNS(150), 75)
+	sp.StampAct(sim.FromNS(165), 150)
+	sp.StampRead(sim.FromNS(180), sim.FromNS(195), 110)
 	finishAndCheck(t, r, sp, sim.FromNS(200))
 	want := map[Component]float64{
 		CompCache:     20, // issue -> xlat
@@ -73,6 +73,30 @@ func TestBreakdownFullServicePath(t *testing.T) {
 	if sum != 200 {
 		t.Fatalf("test vector inconsistent: components sum to %v, want 200", sum)
 	}
+	// The energy ledger must telescope too: per-component sums reproduce
+	// the independently accumulated total, with zero violations.
+	if r.EnergyViolations() != 0 {
+		t.Fatalf("energy violation: %s", r.FirstEnergyViolation())
+	}
+	wantE := map[Component]int64{
+		CompConflict:  75,
+		CompService:   260, // ACT 150 + RD 110
+		CompRefresh:   800,
+		CompMigration: 300,
+	}
+	var esum int64
+	for c := Component(0); c < NumComponents; c++ {
+		if got := r.ComponentEnergySumPJ(c); got != wantE[c] {
+			t.Fatalf("%v energy = %d pJ, want %d", c, got, wantE[c])
+		}
+		esum += r.ComponentEnergySumPJ(c)
+	}
+	if esum != r.EnergySumPJ() || r.EnergySumPJ() != 1435 {
+		t.Fatalf("energy sum = %d pJ, total = %d pJ, want both 1435", esum, r.EnergySumPJ())
+	}
+	if got := r.EnergyMeanPJ(); got != 1435 {
+		t.Fatalf("energy mean = %v pJ, want 1435", got)
+	}
 }
 
 func TestBreakdownRowHit(t *testing.T) {
@@ -80,7 +104,7 @@ func TestBreakdownRowHit(t *testing.T) {
 	sp := r.Begin(0, sim.FromNS(0))
 	sp.StampEnqueue(sim.FromNS(10))
 	// Row already open: straight to the column read, no PRE/ACT.
-	sp.StampRead(sim.FromNS(40), sim.FromNS(55))
+	sp.StampRead(sim.FromNS(40), sim.FromNS(55), 110)
 	finishAndCheck(t, r, sp, sim.FromNS(60))
 	if q, s := r.ComponentSumNS(CompQueue), r.ComponentSumNS(CompService); q != 30 || s != 15 {
 		t.Fatalf("row hit: queue=%v service=%v, want 30/15", q, s)
@@ -94,11 +118,11 @@ func TestBreakdownLastActWins(t *testing.T) {
 	r := NewRecorder("run", 1, 42)
 	sp := r.Begin(0, sim.FromNS(0))
 	sp.StampEnqueue(sim.FromNS(0))
-	sp.StampPre(sim.FromNS(10))
-	sp.StampAct(sim.FromNS(20))
+	sp.StampPre(sim.FromNS(10), 75)
+	sp.StampAct(sim.FromNS(20), 150)
 	// A sibling stole the bank; re-open for this request later.
-	sp.StampAct(sim.FromNS(80))
-	sp.StampRead(sim.FromNS(90), sim.FromNS(100))
+	sp.StampAct(sim.FromNS(80), 150)
+	sp.StampRead(sim.FromNS(90), sim.FromNS(100), 110)
 	finishAndCheck(t, r, sp, sim.FromNS(100))
 	// Conflict extends from the first PRE to the final ACT.
 	if c := r.ComponentSumNS(CompConflict); c != 70 {
@@ -107,6 +131,14 @@ func TestBreakdownLastActWins(t *testing.T) {
 	if s := r.ComponentSumNS(CompService); s != 20 {
 		t.Fatalf("service = %v ns, want 20", s)
 	}
+	// Both activations' energy accumulates even though only the last ACT
+	// time wins.
+	if got := r.ComponentEnergySumPJ(CompService); got != 410 {
+		t.Fatalf("service energy = %d pJ, want 410 (two ACTs + RD)", got)
+	}
+	if r.EnergyViolations() != 0 {
+		t.Fatalf("energy violation: %s", r.FirstEnergyViolation())
+	}
 }
 
 func TestCreditClampKeepsQueueNonNegative(t *testing.T) {
@@ -114,9 +146,9 @@ func TestCreditClampKeepsQueueNonNegative(t *testing.T) {
 	sp := r.Begin(0, sim.FromNS(0))
 	sp.StampEnqueue(sim.FromNS(10))
 	// Over-credit far beyond the actual wait window.
-	sp.CreditRefresh(sim.FromNS(500))
-	sp.CreditMigration(sim.FromNS(500))
-	sp.StampRead(sim.FromNS(50), sim.FromNS(60))
+	sp.CreditRefresh(sim.FromNS(500), 800)
+	sp.CreditMigration(sim.FromNS(500), 300)
+	sp.StampRead(sim.FromNS(50), sim.FromNS(60), 110)
 	finishAndCheck(t, r, sp, sim.FromNS(60))
 	if q := r.ComponentSumNS(CompQueue); q != 0 {
 		t.Fatalf("queue = %v ns, want 0 after clamp", q)
@@ -126,6 +158,14 @@ func TestCreditClampKeepsQueueNonNegative(t *testing.T) {
 	}
 	if mig := r.ComponentSumNS(CompMigration); mig != 0 {
 		t.Fatalf("migration = %v ns, want 0 (refresh consumed the wait)", mig)
+	}
+	// Time credits clamp; energy does not (the blocking commands really
+	// did spend those joules), so the ledger still telescopes.
+	if ref, mig := r.ComponentEnergySumPJ(CompRefresh), r.ComponentEnergySumPJ(CompMigration); ref != 800 || mig != 300 {
+		t.Fatalf("credit energy = %d/%d pJ, want 800/300 (unclamped)", ref, mig)
+	}
+	if r.EnergyViolations() != 0 {
+		t.Fatalf("energy violation: %s", r.FirstEnergyViolation())
 	}
 }
 
@@ -190,11 +230,11 @@ func TestNilSpanStampsAreNoOps(t *testing.T) {
 	sp.StampMerge(1)
 	sp.StampXlat(1)
 	sp.StampEnqueue(1)
-	sp.StampPre(1)
-	sp.StampAct(1)
-	sp.StampRead(1, 2)
-	sp.CreditRefresh(1)
-	sp.CreditMigration(1)
+	sp.StampPre(1, 10)
+	sp.StampAct(1, 10)
+	sp.StampRead(1, 2, 10)
+	sp.CreditRefresh(1, 10)
+	sp.CreditMigration(1, 10)
 	sp.SetBankTID(3)
 	if sp.Waiting() {
 		t.Fatal("nil span reports waiting")
@@ -207,7 +247,7 @@ func TestFinishEmitsTraceFlow(t *testing.T) {
 	r.AttachTrace(tr, 100)
 	sp := r.Begin(2, sim.FromNS(0))
 	sp.StampEnqueue(sim.FromNS(5))
-	sp.StampRead(sim.FromNS(20), sim.FromNS(30))
+	sp.StampRead(sim.FromNS(20), sim.FromNS(30), 110)
 	sp.SetBankTID(7)
 	finishAndCheck(t, r, sp, sim.FromNS(35))
 	// REQ duration + flow start + flow end.
@@ -232,7 +272,7 @@ func TestEncodersDeterministicAndSorted(t *testing.T) {
 		rb := NewRecorder("b-run", 1, 1)
 		sp := rb.Begin(0, 0)
 		sp.StampEnqueue(sim.FromNS(2))
-		sp.StampRead(sim.FromNS(10), sim.FromNS(12))
+		sp.StampRead(sim.FromNS(10), sim.FromNS(12), 110)
 		rb.Finish(sp, sim.FromNS(14))
 		ra := NewRecorder("a-run", 1, 1)
 		sp = ra.Begin(0, 0)
@@ -257,7 +297,7 @@ func TestEncodersDeterministicAndSorted(t *testing.T) {
 	if aIdx < 0 || bIdx < 0 || aIdx > bIdx {
 		t.Fatalf("CSV runs not sorted by label:\n%s", csv1.String())
 	}
-	if !strings.Contains(csv1.String(), "run,requests,violations,component,sum_ns,mean_ns,share_pct,p50_ns,p95_ns,p99_ns") {
+	if !strings.Contains(csv1.String(), "run,requests,violations,energy_violations,component,sum_ns,mean_ns,share_pct,p50_ns,p95_ns,p99_ns,energy_pj,energy_mean_pj") {
 		t.Fatalf("CSV header missing:\n%s", csv1.String())
 	}
 	if !strings.Contains(json1.String(), `"name": "total"`) {
@@ -271,6 +311,8 @@ func TestAggregateMerges(t *testing.T) {
 	r1.Finish(sp, sim.FromNS(10))
 	r2 := NewRecorder("y", 1, 1)
 	sp = r2.Begin(0, 0)
+	sp.StampEnqueue(sim.FromNS(5))
+	sp.StampRead(sim.FromNS(10), sim.FromNS(20), 110)
 	r2.Finish(sp, sim.FromNS(30))
 	var agg Aggregate
 	r1.AddTo(&agg)
@@ -281,7 +323,76 @@ func TestAggregateMerges(t *testing.T) {
 	if got := agg.TotalMeanNS(); got != 20 {
 		t.Fatalf("merged mean = %v ns, want 20", got)
 	}
-	if got := agg.ComponentMeanNS(CompCache); got != 20 {
-		t.Fatalf("merged cache mean = %v ns, want 20 (both were hits)", got)
+	if got := agg.EnergySumPJ(); got != 110 {
+		t.Fatalf("merged energy = %d pJ, want 110", got)
+	}
+	if got := agg.ComponentEnergySumPJ(CompService); got != 110 {
+		t.Fatalf("merged service energy = %d pJ, want 110", got)
+	}
+	if got := agg.EnergyMeanPJ(); got != 55 {
+		t.Fatalf("merged energy mean = %v pJ, want 55", got)
+	}
+	if got := agg.ComponentEnergyMeanPJ(CompService); got != 55 {
+		t.Fatalf("merged service energy mean = %v pJ, want 55", got)
+	}
+}
+
+func TestEnergyViolationCounted(t *testing.T) {
+	r := NewRecorder("run", 1, 42)
+	sp := r.Begin(0, sim.FromNS(0))
+	sp.StampEnqueue(sim.FromNS(5))
+	sp.StampRead(sim.FromNS(10), sim.FromNS(20), 110)
+	// Simulate a buggy stamp site that bumps the running total without
+	// attributing the energy to any component: the ledger must catch it.
+	sp.eTotalPJ += 7
+	r.Finish(sp, sim.FromNS(25))
+	if r.EnergyViolations() != 1 {
+		t.Fatalf("energy violations = %d, want 1", r.EnergyViolations())
+	}
+	if msg := r.FirstEnergyViolation(); !strings.Contains(msg, "total=117pJ") || !strings.Contains(msg, "sum=110pJ") {
+		t.Fatalf("first energy violation = %q", msg)
+	}
+	// The latency decomposition is independent and must still hold.
+	if r.Violations() != 0 {
+		t.Fatalf("latency violations = %d, want 0", r.Violations())
+	}
+}
+
+func TestSpanPoolResetsEnergyLedger(t *testing.T) {
+	r := NewRecorder("run", 1, 42)
+	sp := r.Begin(0, sim.FromNS(0))
+	sp.StampEnqueue(sim.FromNS(1))
+	sp.StampPre(sim.FromNS(2), 75)
+	sp.StampAct(sim.FromNS(3), 150)
+	sp.StampRead(sim.FromNS(4), sim.FromNS(5), 110)
+	r.Finish(sp, sim.FromNS(6))
+	sp2 := r.Begin(0, sim.FromNS(10))
+	if sp2 != sp {
+		t.Fatal("pooled span not recycled")
+	}
+	finishAndCheck(t, r, sp2, sim.FromNS(12))
+	// The recycled span was a pure cache hit: no stale energy may leak.
+	if got := r.EnergySumPJ(); got != 335 {
+		t.Fatalf("energy after recycle = %d pJ, want 335 (first span only)", got)
+	}
+	if r.EnergyViolations() != 0 {
+		t.Fatalf("energy violation: %s", r.FirstEnergyViolation())
+	}
+}
+
+func TestEnergyQuantile(t *testing.T) {
+	r := NewRecorder("run", 1, 42)
+	for i := 0; i < 4; i++ {
+		sp := r.Begin(0, sim.FromNS(0))
+		sp.StampEnqueue(sim.FromNS(1))
+		sp.StampRead(sim.FromNS(2), sim.FromNS(3), 100)
+		r.Finish(sp, sim.FromNS(4))
+	}
+	if q := r.EnergyQuantilePJ(0.5); q < 100 || q > 256 {
+		t.Fatalf("p50 energy = %d pJ, want within [100,256] (log2 bucket bound)", q)
+	}
+	var nilRec *Recorder
+	if nilRec.EnergyQuantilePJ(0.5) != 0 || nilRec.EnergySumPJ() != 0 || nilRec.EnergyViolations() != 0 {
+		t.Fatal("nil recorder energy accessors must be zero")
 	}
 }

@@ -47,6 +47,7 @@ const (
 	phaseInstant   tracePhase = 'i' // instant event
 	phaseFlowStart tracePhase = 's' // flow arrow origin
 	phaseFlowEnd   tracePhase = 'f' // flow arrow destination
+	phaseCounter   tracePhase = 'C' // counter sample (args:{value})
 )
 
 // traceEvent is one buffered event. Names must be static strings (the
@@ -104,6 +105,13 @@ func (r *TraceRecorder) FlowStart(name string, tsPS int64, tid int, id int64) {
 // FlowEnd records the destination of a flow arrow (see FlowStart).
 func (r *TraceRecorder) FlowEnd(name string, tsPS int64, tid int, id int64) {
 	r.record(traceEvent{name: name, ph: phaseFlowEnd, tsPS: tsPS, tid: tid, row: id})
+}
+
+// Counter records a counter sample at tsPS on track tid: the Perfetto
+// UI renders the samples of one (name, tid) series as a filled area
+// chart over time. name must be a static string.
+func (r *TraceRecorder) Counter(name string, tsPS int64, tid int, value int64) {
+	r.record(traceEvent{name: name, ph: phaseCounter, tsPS: tsPS, tid: tid, row: value})
 }
 
 func (r *TraceRecorder) record(e traceEvent) {
@@ -206,7 +214,13 @@ func EncodeTrace(w io.Writer, recs []*TraceRecorder) error {
 			b.WriteString(strconv.Itoa(pid))
 			b.WriteString(`,"tid":`)
 			b.WriteString(strconv.Itoa(e.tid))
-			if e.row >= 0 && !flow {
+			if e.ph == phaseCounter {
+				// Counters reuse row as the sampled value and may
+				// legitimately be zero (or, defensively, negative).
+				b.WriteString(`,"args":{"value":`)
+				b.WriteString(strconv.FormatInt(e.row, 10))
+				b.WriteString(`}`)
+			} else if e.row >= 0 && !flow {
 				b.WriteString(`,"args":{"row":`)
 				b.WriteString(strconv.FormatInt(e.row, 10))
 				b.WriteString(`}`)

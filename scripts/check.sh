@@ -76,7 +76,37 @@ go run ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 \
     -reqtrace 7 -reqtrace-out "$tmp_sink.req" >"$tmp_obs" 2>/dev/null
 cmp "$tmp_quad" "$tmp_obs"
 test -s "$tmp_sink.req"
+
+echo "== energy conservation: attributed picojoules telescope per run"
+# The attribution CSV carries an integer-picojoule double-entry ledger:
+# for every traced run the component rows' energy_pj must sum to the
+# total row's energy_pj with exact integer ==, and the per-request
+# energy_violations counter must be zero. Trailing-field offsets are
+# used because run labels may be quoted and contain commas.
+awk -F',' 'NR == 1 { next }
+    $(NF-8) == "total" {
+        if (seen && sum != total) bad = 1
+        if ($(NF-9) + 0 != 0) bad = 1
+        total = $(NF-1) + 0; sum = 0; seen++
+        next
+    }
+    { sum += $(NF-1) }
+    END { if (seen == 0 || sum != total) bad = 1; exit bad }' "$tmp_sink.req" ||
+    { echo "reqtrace: component energy_pj rows do not sum to total (or energy violations > 0)"; exit 1; }
 rm -f "$tmp_sink.req"
+
+echo "== energy report (dasbench -energy): perf-per-watt across all designs"
+# The perf-per-watt report must render deterministically (sequential vs
+# two-shard parallel engine), and enabling it alongside a figure must
+# leave that figure's bytes untouched — energy metering is pure
+# accounting, never a timing input.
+go run ./cmd/dasbench -energy -benchmarks mcf -instr 200000 >"$tmp_ref" 2>/dev/null
+grep -q "Perf/watt: instructions per microjoule" "$tmp_ref"
+go run ./cmd/dasbench -energy -benchmarks mcf -instr 200000 -parallel 2 >"$tmp_obs" 2>/dev/null
+cmp "$tmp_ref" "$tmp_obs"
+go run ./cmd/dasbench -fig 7a -energy -benchmarks mcf,soplex -instr 200000 >"$tmp_obs" 2>/dev/null
+head -n "$(wc -l <"$tmp_quad")" "$tmp_obs" | cmp - "$tmp_quad"
+grep -q "Perf/watt: instructions per microjoule" "$tmp_obs"
 
 echo "== explain smoke (dasbench -explain standard,das)"
 # Full attribution pipeline end to end: Explain fails if any traced
