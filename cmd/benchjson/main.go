@@ -16,10 +16,10 @@
 // BENCH_baseline.json's nested {pre, post} shape, in which case "post"
 // is the reference). The command exits nonzero if any benchmark present
 // in both documents regresses: wall ns/op rising more than -tolerance
-// (default 10%), instr/s dropping more than that, or allocs/op rising
-// more than that. Wall-clock metrics (ns/op, instr/s) are only gated
-// when the baseline was captured on the same CPU; allocation counts are
-// machine-independent and always gated. events/s is reported but never
+// (default 10%), instr/s dropping more than that, or allocs/op or B/op
+// rising more than that. Wall-clock metrics (ns/op, instr/s) are only
+// gated when the baseline was captured on the same CPU; allocation
+// counts and bytes are machine-independent and always gated. events/s is reported but never
 // gated: next-event scheduling deliberately executes fewer engine
 // events for the same simulation, so the metric does not compare across
 // scheduler generations.
@@ -211,6 +211,12 @@ func compare(cur, base document, minThroughputRatio, maxAllocRatio float64) (rep
 		{"ns/op", true, true},
 		{"instr/s", false, true},
 		{"allocs/op", true, false},
+		// Bytes allocated per op gates like allocs/op: the count is a
+		// property of the code, not the host, so it always compares. It
+		// keeps the machine pool honest — a Reset path that silently
+		// rebuilds would pass the wall-clock gates on a fast machine but
+		// not this one.
+		{"B/op", true, false},
 	}
 	matched := 0
 	for _, b := range cur.Benchmarks {

@@ -165,6 +165,48 @@ func TestCompareGates(t *testing.T) {
 	}
 }
 
+// TestCompareBytesGate pins the B/op gate: allocated bytes regress like
+// allocation counts — machine-independently — and baselines captured
+// before the gate existed (no B/op metric) stay compatible.
+func TestCompareBytesGate(t *testing.T) {
+	withBytes := func(doc document, bop float64) document {
+		doc.Benchmarks[0].Metrics["B/op"] = bop
+		return doc
+	}
+	base := withBytes(mkDoc("cpu-x", 1000, 1000, 100), 1_000_000)
+
+	// Within 10%: clean, and the report mentions the metric.
+	report, n := compareDefault(t, withBytes(mkDoc("cpu-x", 1000, 1000, 100), 1_050_000), base)
+	if n != 0 {
+		t.Fatalf("in-threshold B/op flagged: %v", report)
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "B/op") {
+		t.Fatalf("B/op not reported: %v", report)
+	}
+	// Beyond 10%: regression.
+	report, n = compareDefault(t, withBytes(mkDoc("cpu-x", 1000, 1000, 100), 1_200_000), base)
+	if n != 1 || !strings.Contains(strings.Join(report, "\n"), "REGRESSION B/op") {
+		t.Fatalf("B/op rise not gated: n=%d %v", n, report)
+	}
+	// The gate is machine-independent: it fires across CPUs too.
+	if _, n := compareDefault(t, withBytes(mkDoc("cpu-y", 10, 10, 100), 1_200_000), base); n != 1 {
+		t.Fatalf("B/op rise across CPUs: n=%d, want 1", n)
+	}
+	// A pre-gate baseline without B/op never gates the metric.
+	if report, n := compareDefault(t, withBytes(mkDoc("cpu-x", 1000, 1000, 100), 9e9),
+		mkDoc("cpu-x", 1000, 1000, 100)); n != 0 {
+		t.Fatalf("missing-baseline B/op gated: %v", report)
+	}
+	// Tolerance applies to B/op like the other ceilings.
+	minEPS, maxAllocs, err := thresholds(0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report, n := compare(withBytes(mkDoc("cpu-x", 1000, 1000, 100), 1_200_000), base, minEPS, maxAllocs); n != 0 {
+		t.Fatalf("30%% tolerance still gated B/op: %v", report)
+	}
+}
+
 func TestThresholds(t *testing.T) {
 	minEPS, maxAllocs, err := thresholds(0.10)
 	if err != nil || minEPS != 0.90 || maxAllocs != 1.10 {

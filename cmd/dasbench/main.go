@@ -60,6 +60,7 @@ func run() error {
 		benchSel = flag.String("benchmarks", "", "comma-separated benchmark subset for single-programmed figures")
 		mixSel   = flag.String("mixes", "", "comma-separated mix subset (M1..M8) for multi-programmed figures")
 		parallel = flag.Int("parallel", 0, "shard each simulated machine across OS threads (0/1 = sequential, >=2 = processor/memory shards; output is byte-identical)")
+		nopool   = flag.Bool("nopool", false, "build a fresh machine per run instead of reusing pooled ones (output is byte-identical either way; this flag exists so scripts can prove it)")
 		parShard = flag.Bool("parshard-report", false, "after the figures, print the parallel engine's per-shard busy/wait/barrier occupancy and pipeline-stall fraction (requires -parallel >= 2)")
 
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile (pprof) covering all selected figures to this file")
@@ -169,6 +170,7 @@ func run() error {
 	}
 
 	s := exp.NewSession(cfg)
+	s.DisablePool = *nopool
 	if *benchSel != "" {
 		s.Benchmarks = strings.Split(*benchSel, ",")
 	}

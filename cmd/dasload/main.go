@@ -134,6 +134,7 @@ func run() error {
 		ok, failed, time.Since(start).Round(time.Millisecond),
 		totalRetries, byCache["miss"], byCache["coalesced"], byCache["hit"])
 	fmt.Print(lats.report())
+	fmt.Print(poolReport(client, base))
 	if failed > 0 {
 		return fmt.Errorf("%d requests failed", failed)
 	}
@@ -493,6 +494,34 @@ func verifyCache(client *http.Client, base string, bodies []string) error {
 		}
 	}
 	return nil
+}
+
+// poolReport scrapes /jobs and renders the server-side machine-pool
+// line: how often jobs ran on recycled simulation machines and the
+// pool's high-water standing memory. Empty when the server predates the
+// pool, runs with pooling disabled, or the scrape fails (the load
+// report must not fail over an optional stat).
+func poolReport(client *http.Client, base string) string {
+	resp, err := client.Get(base + "/jobs")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	var jobs struct {
+		Pool *struct {
+			HitRate        float64 `json:"hit_rate"`
+			Hits           uint64  `json:"hits"`
+			Misses         uint64  `json:"misses"`
+			Drops          uint64  `json:"drops"`
+			HighWaterBytes int64   `json:"high_water_bytes"`
+		} `json:"pool"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil || jobs.Pool == nil {
+		return ""
+	}
+	p := jobs.Pool
+	return fmt.Sprintf("dasload: server machine pool: hit rate %.1f%% (%d hits / %d misses, %d drops), high water %.1f MB\n",
+		p.HitRate*100, p.Hits, p.Misses, p.Drops, float64(p.HighWaterBytes)/(1<<20))
 }
 
 // cacheHits reads the server's hit counter from /jobs.

@@ -66,6 +66,7 @@ func run() error {
 		parallel = flag.Int("parallel", 0, "shard each simulated machine across OS threads (0/1 = sequential, >=2 = processor/memory shards; results are byte-identical and share cache entries)")
 		debugAt  = flag.String("debug", "", "also serve the telemetry debug endpoint (/metrics, /debug/pprof) on this address")
 		logJSON  = flag.Bool("log-json", false, "log one JSON object per job transition (admitted/start/done/failed/shed) instead of free text")
+		poolMB   = flag.Int64("pool-mb", 0, "machine-pool byte budget in MB: jobs reuse built simulation machines up to this much standing memory (0 = default budget, <0 = pooling off)")
 	)
 	flag.Parse()
 
@@ -99,6 +100,12 @@ func run() error {
 		RetryAfter:     *retryAft,
 		Base:           cfg,
 		Logf:           log.Printf,
+	}
+	switch {
+	case *poolMB < 0:
+		opts.PoolBytes = -1
+	case *poolMB > 0:
+		opts.PoolBytes = *poolMB << 20
 	}
 	if *logJSON {
 		opts.Log = func(ev serve.LogEvent) {

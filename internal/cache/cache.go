@@ -101,6 +101,7 @@ type Cache struct {
 	mshrs    map[uint64]*mshr
 	mshrPool []*mshr        // recycled MSHR slots
 	pending  []*mem.Request // waiting for a free MSHR
+	wbFree   []*wbSlot      // recycled writeback requests
 
 	// tel is the live instrument set (nil = telemetry off, the default;
 	// see AttachTelemetry).
@@ -261,6 +262,37 @@ func (c *Cache) fill(m *mshr) {
 	c.mshrPool = append(c.mshrPool, m)
 }
 
+// wbSlot is one pooled writeback request. Its Done — bound once, like
+// an MSHR's fill completion — is the recycle hook: a writeback is
+// finished with everywhere the moment it completes (a lower-level hit
+// stores and completes it; a forward all the way down is acked at the
+// controller's posted-write enqueue), and every completion path runs on
+// this cache's goroutine, so the freelist needs no lock.
+type wbSlot struct {
+	r      mem.Request
+	c      *Cache
+	doneFn func()
+}
+
+// recycle returns the slot to its cache's freelist.
+func (s *wbSlot) recycle() {
+	s.r.Trace = nil
+	s.c.wbFree = append(s.c.wbFree, s)
+}
+
+// wbSlot pops a recycled writeback slot or mints one.
+func (c *Cache) wbSlot() *wbSlot {
+	if n := len(c.wbFree); n > 0 {
+		s := c.wbFree[n-1]
+		c.wbFree[n-1] = nil
+		c.wbFree = c.wbFree[:n-1]
+		return s
+	}
+	s := &wbSlot{c: c}
+	s.doneFn = s.recycle
+	return s
+}
+
 // install places block into its set, writing back the dirty victim.
 func (c *Cache) install(block uint64, waiters []*mem.Request) {
 	set := c.sets[c.setIndex(block)]
@@ -277,13 +309,16 @@ func (c *Cache) install(block uint64, waiters []*mem.Request) {
 	v := &set[victim]
 	if v.valid && v.dirty {
 		c.Stats.Writebacks++
-		c.lower.Access(&mem.Request{
+		wb := c.wbSlot()
+		wb.r = mem.Request{
 			Addr:      v.tag,
 			Write:     true,
 			Writeback: true,
 			Core:      -1,
 			Issued:    c.eng.Now(),
-		})
+			Done:      wb.doneFn,
+		}
+		c.lower.Access(&wb.r)
 	}
 	c.lruTick++
 	dirty := false
@@ -331,6 +366,36 @@ func (c *Cache) drainPending() {
 			c.allocateMSHR(block, req)
 		}
 	}
+}
+
+// Reset rewinds the cache to its just-constructed state for in-place
+// reuse (exp.SystemPool): all lines invalidate, the LRU clock rewinds,
+// outstanding MSHRs and queued misses drop, and statistics zero. The
+// set arrays, MSHR map buckets, and recycled MSHR slots (whose fill
+// completions bind this *Cache once) are all retained, so a reset
+// allocates nothing. Telemetry detaches; re-attach per run.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		set := c.sets[i]
+		for j := range set {
+			set[j] = line{}
+		}
+	}
+	c.lruTick = 0
+	for block, m := range c.mshrs {
+		for i := range m.waiters {
+			m.waiters[i] = nil
+		}
+		m.waiters = m.waiters[:0]
+		m.fillReq.Trace = nil
+		m.fillReq.Done = m.filled
+		c.mshrPool = append(c.mshrPool, m)
+		delete(c.mshrs, block)
+	}
+	clear(c.pending)
+	c.pending = c.pending[:0]
+	c.tel = nil
+	c.ResetStats()
 }
 
 // Contains reports whether block-aligned addr is resident (test helper and

@@ -137,6 +137,25 @@ func newGroup(size, fastSlots int) *group {
 	return g
 }
 
+// reset restores the identity permutation and clears all replacement
+// and degradation state, making the group indistinguishable from a
+// newGroup of the same shape (the Manager's reset freelist reuses
+// groups this way).
+func (g *group) reset() {
+	for i := range g.perm {
+		g.perm[i] = uint8(i)
+		g.inv[i] = uint8(i)
+	}
+	for i := range g.lastUse {
+		g.lastUse[i] = 0
+	}
+	g.seq = 0
+	g.migrating = false
+	g.fenced, g.fencedKnown = false, false
+	g.pinned = nil
+	g.retries = 0
+}
+
 // swap exchanges the physical slots of logical rows a and b.
 func (g *group) swap(a, b int) {
 	pa, pb := g.perm[a], g.perm[b]

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dram"
 	"repro/internal/fault"
@@ -72,6 +73,23 @@ type Manager struct {
 	tagCache *TagCache
 	filter   *Filter
 	picker   victimPicker
+
+	// freeGroups recycles group translation state across pooled-machine
+	// resets: groups allocate lazily on first touch, dominate the
+	// manager's steady-state allocation, and are shape-compatible
+	// whenever GroupSize and FastDenom carry over (Reset drops the list
+	// otherwise).
+	freeGroups []*group
+
+	// reqFree recycles controller-request slots (see ctlReq). Slots come
+	// back through mc.Request.Release — from the memory-side shard for
+	// posted writes in a parallel run — so the list is lock-protected.
+	// It survives Reset: slots are shape-independent, and reusing them
+	// is what makes a pooled machine's steady-state accesses
+	// allocation-free. Requests still queued when a run ends are dropped
+	// by Controller.Reset and simply fall out of circulation.
+	reqFreeMu sync.Mutex
+	reqFree   []*ctlReq
 
 	static  *StaticAssignment
 	profile *RowProfile
@@ -291,6 +309,82 @@ func (m *Manager) ResetStats() {
 	}
 }
 
+// Reset rewinds the manager to its just-constructed state for in-place
+// reuse (exp.SystemPool), adopting cfg's management knobs. The design
+// is pinned (the pool keys machines by design), as are the engine,
+// controller, and geometry; everything attached per run — LLC, static
+// assignment, profile, fault injector, telemetry, shard binding —
+// detaches. Touched migration groups return to a freelist (reusable
+// when GroupSize and FastDenom carry over), the tag cache and filter
+// reset in place when their shapes match and rebuild otherwise, and the
+// victim picker re-seeds from cfg.Seed exactly as NewManager would.
+func (m *Manager) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Design != m.cfg.Design {
+		return fmt.Errorf("core: reset with design %v on a manager built for %v", cfg.Design, m.cfg.Design)
+	}
+	old := m.cfg
+	m.cfg = cfg
+	m.llc = nil
+	m.static, m.profile = nil, nil
+	m.faults = nil
+	m.checkInv = false
+	m.tableRetries = nil
+	m.consecAbandoned = 0
+	m.migBreaker = false
+	m.err = nil
+	m.tel = nil
+	m.shard = nil
+	perCore := m.Stats.PerCorePromotions
+	m.Stats = Stats{}
+	for i := range perCore {
+		perCore[i] = 0
+	}
+	m.Stats.PerCorePromotions = perCore
+	if !cfg.Design.Dynamic() {
+		return nil
+	}
+	sameShape := cfg.GroupSize == old.GroupSize && cfg.FastDenom == old.FastDenom
+	if !sameShape {
+		layout, err := NewLayout(m.geom, cfg.GroupSize, cfg.FastDenom)
+		if err != nil {
+			return err
+		}
+		m.layout = layout
+		m.freeGroups = nil
+	}
+	for id, grp := range m.groups {
+		if sameShape {
+			grp.reset()
+			m.freeGroups = append(m.freeGroups, grp)
+		}
+		delete(m.groups, id)
+	}
+	if cfg.TagCacheBytes == old.TagCacheBytes && cfg.TagCacheAssoc == old.TagCacheAssoc {
+		m.tagCache.Reset()
+	} else {
+		tc, err := NewTagCache(cfg.TagCacheBytes, cfg.TagCacheAssoc)
+		if err != nil {
+			return err
+		}
+		m.tagCache = tc
+	}
+	if cfg.FilterThreshold == old.FilterThreshold && cfg.FilterCounters == old.FilterCounters {
+		m.filter.Reset()
+	} else {
+		f, err := NewFilter(cfg.FilterThreshold, cfg.FilterCounters)
+		if err != nil {
+			return err
+		}
+		m.filter = f
+	}
+	m.picker = victimPicker{policy: cfg.Replacement, rng: sim.NewRNG(cfg.Seed)}
+	clear(m.pendingTag)
+	return nil
+}
+
 // Access implements mem.Component for LLC-miss traffic (fills,
 // writebacks, and recursive translation-table requests).
 func (m *Manager) Access(req *mem.Request) {
@@ -438,11 +532,18 @@ func (m *Manager) DescribePending() string {
 	return out + "\n"
 }
 
-// group returns (allocating on demand) the translation state of g.
+// group returns (allocating on demand) the translation state of g,
+// recycling a reset group from the freelist when one is available.
 func (m *Manager) group(g uint64) *group {
 	grp, ok := m.groups[g]
 	if !ok {
-		grp = newGroup(m.layout.GroupSize(), m.layout.FastSlots())
+		if n := len(m.freeGroups); n > 0 {
+			grp = m.freeGroups[n-1]
+			m.freeGroups[n-1] = nil
+			m.freeGroups = m.freeGroups[:n-1]
+		} else {
+			grp = newGroup(m.layout.GroupSize(), m.layout.FastSlots())
+		}
 		m.groups[g] = grp
 	}
 	return grp
@@ -500,10 +601,76 @@ func (m *Manager) groupFenced(g uint64, grp *group) bool {
 	return grp.fenced
 }
 
+// ctlReq is one pooled controller-request slot: the mc.Request plus the
+// completion state enqueue used to capture in a per-access closure. The
+// doneFn/releaseFn method values are bound once when the slot is
+// created, so a recycled slot makes a whole DRAM access allocate
+// nothing. Slots are interchangeable — every field the simulation reads
+// is overwritten at enqueue — so the (racy, lock-ordered) freelist order
+// in a sharded run cannot perturb the command stream.
+type ctlReq struct {
+	r       mc.Request
+	m       *Manager
+	done    func()
+	trigger bool
+	rowID   uint64
+	core    int
+
+	doneFn    func(mc.ServiceKind)
+	releaseFn func()
+}
+
+// complete is the request's Done: the original waiter first, then the
+// promotion trigger, exactly as the old closure ordered them.
+func (q *ctlReq) complete(kind mc.ServiceKind) {
+	if q.done != nil {
+		q.done()
+	}
+	if q.trigger {
+		q.m.Stats.SlowTriggers++
+		q.m.considerPromotion(q.rowID, q.core)
+	}
+}
+
+// release returns the slot to the manager's freelist once the
+// controller's last touch has passed (mc.Request.Release). Reads
+// release on the processor-side shard, posted writes on the memory
+// side, hence the lock; uncontended in a sequential run. Stale pointers
+// are cleared so a parked slot pins neither the waiter chain nor a
+// trace span.
+func (q *ctlReq) release() {
+	q.done = nil
+	q.r.Trace = nil
+	m := q.m
+	m.reqFreeMu.Lock()
+	m.reqFree = append(m.reqFree, q)
+	m.reqFreeMu.Unlock()
+}
+
+// ctlReqSlot pops a recycled slot or mints one (two allocations: the
+// slot and its bound method values — paid once, amortized across the
+// run and across pooled-machine resets, which keep the freelist).
+func (m *Manager) ctlReqSlot() *ctlReq {
+	m.reqFreeMu.Lock()
+	if n := len(m.reqFree); n > 0 {
+		q := m.reqFree[n-1]
+		m.reqFree[n-1] = nil
+		m.reqFree = m.reqFree[:n-1]
+		m.reqFreeMu.Unlock()
+		return q
+	}
+	m.reqFreeMu.Unlock()
+	q := &ctlReq{m: m}
+	q.doneFn = q.complete
+	q.releaseFn = q.release
+	return q
+}
+
 // enqueue forwards to the memory controller, wiring completion and the
 // promotion trigger.
 func (m *Manager) enqueue(req *mem.Request, coord dram.Coord, cls dram.RowClass, rowID uint64, trigger bool) {
-	dreq := &mc.Request{
+	q := m.ctlReqSlot()
+	q.r = mc.Request{
 		Coord: coord,
 		Class: cls,
 		Write: req.Write,
@@ -511,17 +678,13 @@ func (m *Manager) enqueue(req *mem.Request, coord dram.Coord, cls dram.RowClass,
 		Core:  req.Core,
 		Trace: req.Trace,
 	}
-	core := req.Core
-	done := req.Done
-	dreq.Done = func(kind mc.ServiceKind) {
-		if done != nil {
-			done()
-		}
-		if trigger {
-			m.Stats.SlowTriggers++
-			m.considerPromotion(rowID, core)
-		}
-	}
+	q.done = req.Done
+	q.trigger = trigger
+	q.rowID = rowID
+	q.core = req.Core
+	dreq := &q.r
+	dreq.Done = q.doneFn
+	dreq.Release = q.releaseFn
 	if m.shard != nil {
 		// Posted-write acks re-enter the cache hierarchy, which lives on
 		// this shard: fire the ack here (the controller acks writes

@@ -155,6 +155,18 @@ func NewFilter(threshold, capacity int) (*Filter, error) {
 // Threshold returns the configured promotion threshold.
 func (f *Filter) Threshold() int { return f.threshold }
 
+// Reset clears all counters and the tracked-row table, leaving the
+// filter indistinguishable from a fresh NewFilter with the same
+// parameters. Map buckets and the order ring's backing are retained.
+func (f *Filter) Reset() {
+	if f.counts != nil {
+		clear(f.counts)
+		f.order = f.order[:0]
+		f.head = 0
+	}
+	f.Rejects = 0
+}
+
 // Allow records a slow-level hit on row and reports whether the row
 // should be promoted now.
 func (f *Filter) Allow(row uint64) bool {

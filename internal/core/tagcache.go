@@ -143,6 +143,19 @@ func (tc *TagCache) VisitValid(fn func(row uint64)) {
 	}
 }
 
+// Reset invalidates every entry and rewinds the recency clock and
+// counters, leaving the cache indistinguishable from a fresh
+// NewTagCache of the same shape. The set arrays are retained.
+func (tc *TagCache) Reset() {
+	for _, set := range tc.sets {
+		for i := range set {
+			set[i] = tagLine{}
+		}
+	}
+	tc.tick = 0
+	tc.Lookups, tc.Hits = 0, 0
+}
+
 // HitRatio reports the lookup hit ratio.
 func (tc *TagCache) HitRatio() float64 {
 	if tc.Lookups == 0 {

@@ -143,6 +143,40 @@ func New(id int, cfg Config, eng *sim.Engine, gen workload.Generator, l1 mem.Com
 	return c, nil
 }
 
+// Reset rewinds the core to its just-constructed state for in-place
+// reuse (exp.SystemPool), adopting gen as the instruction stream for the
+// next run. The ROB array, per-slot load requests (completions bound
+// once to this core), recycled store slots, and the page bitmap's
+// backing are all retained, so a reset allocates nothing. The engine
+// and clock are pinned; request-trace sampling detaches — re-attach per
+// run. Only valid once the engine's queue has been emptied: an
+// in-flight completion would otherwise fire against the rewound state.
+func (c *Core) Reset(gen workload.Generator) {
+	c.gen = gen
+	for i := range c.rob {
+		c.rob[i] = robEntry{}
+	}
+	for i := range c.loadReqs {
+		c.loadReqs[i].Trace = nil
+	}
+	c.head, c.count = 0, 0
+	c.outstandingLoads = 0
+	c.depQueue = c.depQueue[:0]
+	c.sbInFlight = 0
+	c.pending = workload.Instr{}
+	c.pendingValid = false
+	c.retiredTotal, c.warmupAt, c.quota = 0, 0, 0
+	c.measuring, c.finished = false, false
+	c.onWarmup, c.onQuota = nil, nil
+	c.ticker.Reset()
+	for i := range c.pageBits {
+		c.pageBits[i] = 0
+	}
+	c.rt = nil
+	c.rtStride, c.rtOffset, c.rtCount = 0, 0, 0
+	c.Stats = Stats{}
+}
+
 // touchPage records a measured memory op's page in the bitmap, counting
 // it on first touch.
 func (c *Core) touchPage(page uint64) {

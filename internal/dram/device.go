@@ -66,23 +66,32 @@ func (d *Device) SetCommandLog(fn func(t sim.Time, kind CommandKind, channel, ra
 	d.cmdLog = fn
 }
 
+// validate checks the parts of cfg shared by New and Reset (geometry is
+// validated by New and pinned by Reset).
+func (cfg *Config) validate() error {
+	if err := cfg.Slow.Validate(); err != nil {
+		return fmt.Errorf("slow params: %w", err)
+	}
+	if err := cfg.Fast.Validate(); err != nil {
+		return fmt.Errorf("fast params: %w", err)
+	}
+	if cfg.Slow.TCK != cfg.Fast.TCK {
+		return fmt.Errorf("dram: slow and fast sets must share a clock (%d vs %d)",
+			cfg.Slow.TCK, cfg.Fast.TCK)
+	}
+	if cfg.MigrationLatency < 0 {
+		return fmt.Errorf("dram: negative migration latency %d", cfg.MigrationLatency)
+	}
+	return nil
+}
+
 // New validates cfg and builds the device.
 func New(cfg Config) (*Device, error) {
 	if err := cfg.Geometry.Validate(); err != nil {
 		return nil, err
 	}
-	if err := cfg.Slow.Validate(); err != nil {
-		return nil, fmt.Errorf("slow params: %w", err)
-	}
-	if err := cfg.Fast.Validate(); err != nil {
-		return nil, fmt.Errorf("fast params: %w", err)
-	}
-	if cfg.Slow.TCK != cfg.Fast.TCK {
-		return nil, fmt.Errorf("dram: slow and fast sets must share a clock (%d vs %d)",
-			cfg.Slow.TCK, cfg.Fast.TCK)
-	}
-	if cfg.MigrationLatency < 0 {
-		return nil, fmt.Errorf("dram: negative migration latency %d", cfg.MigrationLatency)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	emodel, err := energy.NewModel(area.Default(), int(cfg.Geometry.RowBytes()), cfg.Geometry.BlockSize)
 	if err != nil {
@@ -98,16 +107,56 @@ func New(cfg Config) (*Device, error) {
 	for i := 0; i < cfg.Geometry.Channels; i++ {
 		d.channels = append(d.channels, newChannel(d, i, cfg.Geometry.Ranks, cfg.Geometry.Banks))
 	}
-	// Stagger initial refresh due times across ranks so all ranks do not
-	// refresh in lock-step (as real controllers do).
+	d.initRefreshStagger()
+	return d, nil
+}
+
+// initRefreshStagger staggers initial refresh due times across ranks so
+// all ranks do not refresh in lock-step (as real controllers do).
+func (d *Device) initRefreshStagger() {
 	p := &d.slow
 	for ci, ch := range d.channels {
 		for ri, r := range ch.ranks {
-			frac := sim.Time(ci*cfg.Geometry.Ranks+ri) * p.Duration(p.TREFI) / sim.Time(cfg.Geometry.Channels*cfg.Geometry.Ranks)
+			frac := sim.Time(ci*d.geom.Ranks+ri) * p.Duration(p.TREFI) / sim.Time(d.geom.Channels*d.geom.Ranks)
 			r.nextRefreshDue = p.Duration(p.TREFI) + frac
 		}
 	}
-	return d, nil
+}
+
+// Reset rewinds the device to its just-constructed state for in-place
+// reuse, adopting cfg's timing sets and migration latency (sweeps vary
+// them without changing the machine shape). The geometry is pinned: a
+// reset never resizes the channel/rank/bank arrays, so cfg.Geometry
+// must equal the built one. Telemetry and the command log detach — they
+// are per-run attachments. After Reset the device is indistinguishable
+// from dram.New(cfg), including the initial refresh stagger; the energy
+// model is retained (it is a pure function of the geometry).
+func (d *Device) Reset(cfg Config) error {
+	if cfg.Geometry != d.geom {
+		return fmt.Errorf("dram: reset with geometry %+v on a device built as %+v", cfg.Geometry, d.geom)
+	}
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	d.slow, d.fast, d.migrationLatency = cfg.Slow, cfg.Fast, cfg.MigrationLatency
+	d.tel = nil
+	d.cmdLog = nil
+	for _, ch := range d.channels {
+		ch.busBusyUntil, ch.busRank, ch.busDirection = 0, -1, busNone
+		for _, r := range ch.ranks {
+			for _, b := range r.banks {
+				*b = Bank{}
+			}
+			r.actHead = 0
+			r.nextAct, r.nextReadAfterWr, r.refreshBusyUntil, r.nextRefreshDue = 0, 0, 0, 0
+			r.Refreshes = 0
+			for i := range r.actWindow {
+				r.actWindow[i] = -(1 << 40)
+			}
+		}
+	}
+	d.initRefreshStagger()
+	return nil
 }
 
 // Geometry returns the device organization.

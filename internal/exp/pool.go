@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// poolKey pins everything a System.Reset cannot change: the machine
+// shape. Two configs with equal keys differ only in sweepable knobs
+// (timing sets, migration latency, management parameters, page policy,
+// measurement protocol, seeds, fault injection), all of which Reset
+// re-applies. Design is part of the key because the manager's design is
+// structural (dynamic designs carry layout/tag-cache/filter state that
+// static ones never allocate), as is the execution engine choice (a
+// parallel machine owns a second engine and the shard coupling).
+type poolKey struct {
+	design   core.Design
+	cores    int
+	parallel bool
+
+	channels, ranks, banks, rows, columns, blockSize int
+
+	cpuGHz                  float64
+	width, rob, storeBuffer int
+
+	l1KB, l1Assoc, l1Lat, l1MSHRs     int
+	l2KB, l2Assoc, l2Lat, l2MSHRs     int
+	llcKB, llcAssoc, llcLat, llcMSHRs int
+}
+
+func keyFor(cfg *config.Config, design core.Design) poolKey {
+	return poolKey{
+		design:   design,
+		cores:    cfg.Cores,
+		parallel: cfg.Parallel >= 2,
+		channels: cfg.Channels, ranks: cfg.Ranks, banks: cfg.Banks,
+		rows: cfg.RowsPerBank, columns: cfg.Columns, blockSize: cfg.BlockSize,
+		cpuGHz: cfg.CPUGHz, width: cfg.Width, rob: cfg.ROB, storeBuffer: cfg.StoreBuffer,
+		l1KB: cfg.L1KB, l1Assoc: cfg.L1Assoc, l1Lat: cfg.L1Latency, l1MSHRs: cfg.L1MSHRs,
+		l2KB: cfg.L2KB, l2Assoc: cfg.L2Assoc, l2Lat: cfg.L2Latency, l2MSHRs: cfg.L2MSHRs,
+		llcKB: cfg.LLCKB, llcAssoc: cfg.LLCAssoc, llcLat: cfg.LLCLatency, llcMSHRs: cfg.LLCMSHRs,
+	}
+}
+
+// footprintBytes is a coarse standing-memory estimate of one machine,
+// used only to enforce the pool's byte budget (never for simulation).
+// It prices the dominant retained structures: cache line metadata, DRAM
+// bank state, and per-core ROB/request arrays, plus a fixed slack for
+// queues, maps, and lazily grown tables.
+func footprintBytes(k poolKey) int64 {
+	const (
+		lineBytes = 48  // cache line metadata + set overhead
+		bankBytes = 256 // dram.Bank counters + rank share
+		robBytes  = 160 // robEntry + preallocated mem.Request
+		slack     = 1 << 20
+	)
+	cacheLines := int64(k.llcKB<<10)/int64(k.blockSize) +
+		int64(k.cores)*(int64(k.l1KB<<10)+int64(k.l2KB<<10))/int64(k.blockSize)
+	banks := int64(k.channels) * int64(k.ranks) * int64(k.banks)
+	return cacheLines*lineBytes + banks*bankBytes + int64(k.cores)*int64(k.rob)*robBytes + slack
+}
+
+// PoolStats is a snapshot of a SystemPool's lifetime activity.
+type PoolStats struct {
+	// Hits counts checkouts served by a pooled machine; Misses counts
+	// checkouts that fell through to a fresh Build.
+	Hits, Misses uint64
+	// Drops counts checkins discarded because the byte budget was full.
+	Drops uint64
+	// Machines is the number of systems currently parked in the pool and
+	// CurrentBytes their estimated standing memory; HighWaterBytes is the
+	// lifetime maximum of CurrentBytes.
+	Machines       int
+	CurrentBytes   int64
+	HighWaterBytes int64
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 before any checkout.
+func (s PoolStats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// SystemPool recycles fully built simulation machines across runs,
+// keyed by machine shape (poolKey). A sweep that runs hundreds of
+// points over the same shape pays the allocation cost of one machine
+// per concurrent run instead of one per point: checkouts rewind the
+// machine in place (System.Reset) with byte-identical results to a
+// fresh Build.
+//
+// The pool is bounded by an estimated byte budget: checkins beyond it
+// are dropped (their engine storage still recycles through the sim
+// pools), so a burst of differently shaped jobs cannot pin unbounded
+// memory. All methods are safe for concurrent use.
+type SystemPool struct {
+	mu       sync.Mutex
+	items    map[poolKey][]*System
+	maxBytes int64
+	stats    PoolStats
+}
+
+// DefaultPoolBytes is the default pool budget: roomy enough for a few
+// concurrent benchmark-scale machines, small against any host that can
+// run the simulator at all.
+const DefaultPoolBytes = 256 << 20
+
+// DefaultPool is the process-wide machine pool Sessions use unless
+// overridden. It is package-level deliberately: sessions are routinely
+// created per figure (or per benchmark iteration), so a per-session
+// pool would never see a second checkout of the same shape.
+var DefaultPool = NewSystemPool(DefaultPoolBytes)
+
+// NewSystemPool builds a pool bounded by maxBytes of estimated standing
+// memory (0 or negative = unbounded).
+func NewSystemPool(maxBytes int64) *SystemPool {
+	return &SystemPool{items: make(map[poolKey][]*System), maxBytes: maxBytes}
+}
+
+// Get checks out a machine matching cfg/design's shape, or returns nil
+// (a miss: the caller builds fresh and checks the new machine in after
+// use). A non-nil machine still holds its previous run's state — rewind
+// it with System.Reset before running.
+func (p *SystemPool) Get(cfg *config.Config, design core.Design) *System {
+	k := keyFor(cfg, design)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q := p.items[k]
+	if len(q) == 0 {
+		p.stats.Misses++
+		return nil
+	}
+	sys := q[len(q)-1]
+	q[len(q)-1] = nil
+	p.items[k] = q[:len(q)-1]
+	p.stats.Hits++
+	p.stats.Machines--
+	p.stats.CurrentBytes -= footprintBytes(k)
+	return sys
+}
+
+// Put checks a machine back in for reuse. Over-budget checkins are
+// dropped: the machine's engine storage is released to the sim pools
+// and the system left for the collector. Never Put a machine whose run
+// failed mid-flight unless it has been Reset — the pool stores
+// machines dirty and relies on the next checkout's Reset, which
+// requires intact wiring.
+func (p *SystemPool) Put(sys *System) {
+	if sys == nil {
+		return
+	}
+	k := keyFor(&sys.Cfg, sys.Design)
+	fb := footprintBytes(k)
+	p.mu.Lock()
+	if p.maxBytes > 0 && p.stats.CurrentBytes+fb > p.maxBytes {
+		p.stats.Drops++
+		p.mu.Unlock()
+		sys.free()
+		return
+	}
+	sys.pool = p
+	p.items[k] = append(p.items[k], sys)
+	p.stats.Machines++
+	p.stats.CurrentBytes += fb
+	if p.stats.CurrentBytes > p.stats.HighWaterBytes {
+		p.stats.HighWaterBytes = p.stats.CurrentBytes
+	}
+	p.mu.Unlock()
+}
+
+// Drain releases every pooled machine (graceful-shutdown path). The
+// pool remains usable; lifetime statistics are preserved.
+func (p *SystemPool) Drain() {
+	p.mu.Lock()
+	var all []*System
+	for k, q := range p.items {
+		all = append(all, q...)
+		delete(p.items, k)
+	}
+	p.stats.Machines = 0
+	p.stats.CurrentBytes = 0
+	p.mu.Unlock()
+	for _, sys := range all {
+		sys.free()
+	}
+}
+
+// Stats snapshots the pool's lifetime activity.
+func (p *SystemPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -1,0 +1,311 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// The pooled-machine byte-identity suite: a machine checked out of a
+// SystemPool and rewound with System.Reset must be observationally
+// indistinguishable from a fresh Build — same DRAM command stream (the
+// strongest observable), same figure bytes, across all six designs,
+// open and closed page, multicore mixes, and both execution engines.
+
+// caseConfig builds the run configuration for a stream case, matching
+// streamDigest exactly so pooled digests compare against the committed
+// fresh-run goldens.
+func caseConfig(sc streamCase, parallel int) config.Config {
+	cfg := tinyConfig()
+	cfg.InstrPerCore = 60_000
+	cfg.Cores = len(sc.benchmarks)
+	cfg.Seed = sc.seed
+	cfg.ClosedPage = sc.closedPage
+	cfg.Parallel = parallel
+	return cfg
+}
+
+// caseStatic computes the static assignment a case needs (nil for
+// dynamic designs).
+func caseStatic(t *testing.T, cfg config.Config, sc streamCase) *core.StaticAssignment {
+	t.Helper()
+	if !sc.design.Static() {
+		return nil
+	}
+	prof, err := ProfilePass(cfg, sc.benchmarks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.BuildStaticAssignment(prof, cfg.Geometry(), cfg.FastDenom)
+}
+
+// digestRun attaches a command log to sys, runs it, and returns the
+// command count and FNV-1a digest over the raw tuple stream (same
+// encoding as streamDigest).
+func digestRun(t *testing.T, sys *System, name string) (uint64, uint64) {
+	t.Helper()
+	h := fnv.New64a()
+	var buf [48]byte
+	var count uint64
+	sys.Dev.SetCommandLog(func(at sim.Time, kind dram.CommandKind, channel, rank, bank, row int) {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(at))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(kind))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(int64(channel)))
+		binary.LittleEndian.PutUint64(buf[24:], uint64(int64(rank)))
+		binary.LittleEndian.PutUint64(buf[32:], uint64(int64(bank)))
+		binary.LittleEndian.PutUint64(buf[40:], uint64(int64(row)))
+		h.Write(buf[:])
+		count++
+	})
+	if _, err := sys.Run(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return count, h.Sum64()
+}
+
+// TestPooledRunsByteIdentical is the tentpole's non-negotiable: for
+// every stream case (all six designs, closed-page, a multicore mix) and
+// both execution engines, a machine that already ran a *different*
+// sweep point — different seed, flipped page policy, perturbed
+// migration latency — then went through Put/Get/Reset must replay the
+// target point with the exact command count and FNV-1a stream digest a
+// fresh Build produces.
+func TestPooledRunsByteIdentical(t *testing.T) {
+	for _, sc := range streamCases() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			for _, parallel := range []int{0, 2} {
+				freshN, freshSum := streamDigest(t, sc, parallel)
+
+				// Dirty the machine with a same-shape sweep variant so Reset
+				// must scrub real state, not a pristine build.
+				dirty := caseConfig(sc, parallel)
+				dirty.Seed = sc.seed + 1
+				dirty.ClosedPage = !sc.closedPage
+				dirty.MigrationLatencyNS += 20
+				pool := NewSystemPool(0)
+				sys, _, err := Build(dirty, sc.design, sc.benchmarks, caseStatic(t, dirty, sc), false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.pool = pool // keep engines attached across the run
+				if _, err := sys.Run(); err != nil {
+					t.Fatalf("dirty run: %v", err)
+				}
+				pool.Put(sys)
+
+				cfg := caseConfig(sc, parallel)
+				got := pool.Get(&cfg, sc.design)
+				if got == nil {
+					t.Fatalf("parallel=%d: pool miss for same-shape config", parallel)
+				}
+				if got != sys {
+					t.Fatalf("parallel=%d: pool returned a different machine", parallel)
+				}
+				if _, err := got.Reset(cfg, sc.design, sc.benchmarks, caseStatic(t, cfg, sc), false); err != nil {
+					t.Fatalf("parallel=%d: Reset: %v", parallel, err)
+				}
+				n, sum := digestRun(t, got, sc.name)
+				if n != freshN || sum != freshSum {
+					t.Errorf("parallel=%d: pooled run diverged: commands=%d fnv64a=%016x, fresh commands=%d fnv64a=%016x",
+						parallel, n, sum, freshN, freshSum)
+				}
+				pool.Drain()
+			}
+		})
+	}
+}
+
+// TestPooledFigureBytesMatchFresh pins the user-facing observable:
+// Figure 7a rendered by pool-disabled sessions and by two sessions
+// sharing one pool (the second running entirely on recycled machines)
+// must produce identical bytes.
+func TestPooledFigureBytesMatchFresh(t *testing.T) {
+	// Two benchmarks keep the three renders affordable under -race; the
+	// full-matrix stream digests above cover the remaining designs.
+	render := func(s *Session) string {
+		s.Benchmarks = []string{"mcf", "soplex"}
+		fig, err := s.Figure("7a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.Render()
+	}
+	fresh := NewSession(tinyConfig())
+	fresh.DisablePool = true
+	want := render(fresh)
+
+	pool := NewSystemPool(0)
+	for i := 0; i < 2; i++ {
+		s := NewSession(tinyConfig())
+		s.Pool = pool
+		if got := render(s); got != want {
+			t.Errorf("session %d: pooled figure bytes differ from fresh:\n--- fresh ---\n%s\n--- pooled ---\n%s", i, want, got)
+		}
+	}
+	if st := pool.Stats(); st.Hits == 0 {
+		t.Errorf("second pooled session never hit the pool: %+v", st)
+	}
+	pool.Drain()
+}
+
+// TestPooledTelemetryTimelineMatchesFresh closes the third identity
+// surface the tentpole names: the merged metrics timeline and trace
+// export of a run on a recycled machine must be byte-identical to a
+// fresh build's — Registry.Reset and the reqtrace rings leave no
+// residue.
+func TestPooledTelemetryTimelineMatchesFresh(t *testing.T) {
+	run := func(s *Session) (csv, trace string) {
+		s.Benchmarks = []string{"mcf"}
+		s.Observe = &ObserveOptions{Metrics: true, Trace: true, ReqTraceN: 3}
+		if _, err := s.Fig7a(); err != nil {
+			t.Fatal(err)
+		}
+		var csvBuf, traceBuf bytes.Buffer
+		if err := s.WriteTimelineCSV(&csvBuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteTrace(&traceBuf); err != nil {
+			t.Fatal(err)
+		}
+		return csvBuf.String(), traceBuf.String()
+	}
+	fresh := NewSession(tinyConfig())
+	fresh.DisablePool = true
+	wantCSV, wantTrace := run(fresh)
+
+	pool := NewSystemPool(0)
+	warm := NewSession(tinyConfig())
+	warm.Pool = pool
+	run(warm) // fill the pool
+	pooled := NewSession(tinyConfig())
+	pooled.Pool = pool
+	gotCSV, gotTrace := run(pooled)
+	if st := pool.Stats(); st.Hits == 0 {
+		t.Fatalf("second session never hit the pool: %+v", st)
+	}
+	if gotCSV != wantCSV {
+		t.Errorf("pooled timeline CSV differs from fresh (%d vs %d bytes)", len(gotCSV), len(wantCSV))
+	}
+	if gotTrace != wantTrace {
+		t.Errorf("pooled trace JSON differs from fresh (%d vs %d bytes)", len(gotTrace), len(wantTrace))
+	}
+	pool.Drain()
+}
+
+// TestPoolCapFallback pins the bounded-pool degradation path: with a
+// budget too small for any machine, every checkin drops, every checkout
+// misses, and runs still succeed by building fresh.
+func TestPoolCapFallback(t *testing.T) {
+	pool := NewSystemPool(1) // smaller than any machine's footprint
+	s := NewSession(tinyConfig())
+	s.Pool = pool
+
+	cfg := s.Cfg
+	var results [2]string
+	for i := range results {
+		res, err := s.Run(cfg, core.DAS, []string{"mcf"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = fmt.Sprintf("%+v", res)
+	}
+	if results[0] != results[1] {
+		t.Errorf("fresh-fallback runs diverged:\n%s\n%s", results[0], results[1])
+	}
+	st := pool.Stats()
+	if st.Hits != 0 || st.Misses != 2 || st.Drops != 2 {
+		t.Errorf("stats = %+v, want Hits=0 Misses=2 Drops=2", st)
+	}
+	if st.Machines != 0 || st.CurrentBytes != 0 {
+		t.Errorf("over-budget pool retained machines: %+v", st)
+	}
+	if st.HitRate() != 0 {
+		t.Errorf("HitRate = %v, want 0", st.HitRate())
+	}
+}
+
+// TestPoolDisabled pins that DisablePool wins over an explicit Pool:
+// the session must never touch it.
+func TestPoolDisabled(t *testing.T) {
+	pool := NewSystemPool(0)
+	s := NewSession(tinyConfig())
+	s.Pool = pool
+	s.DisablePool = true
+	if _, err := s.Run(s.Cfg, core.DAS, []string{"mcf"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st != (PoolStats{}) {
+		t.Errorf("disabled session touched the pool: %+v", st)
+	}
+}
+
+// TestPoolConcurrentCheckout is the -race stress: goroutines hammer one
+// shared pool with the full checkout/reset/run/checkin cycle and the
+// lifetime accounting must stay consistent.
+func TestPoolConcurrentCheckout(t *testing.T) {
+	const workers, iters = 4, 3
+	pool := NewSystemPool(0)
+	cfg := tinyConfig()
+	cfg.InstrPerCore = 20_000
+	benchmarks := []string{"mcf"}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				run := cfg
+				run.Seed = uint64(w*iters + i + 1) // distinct sweep points, one shape
+				sys := pool.Get(&run, core.DAS)
+				if sys == nil {
+					var err error
+					sys, _, err = Build(run, core.DAS, benchmarks, nil, false)
+					if err != nil {
+						errc <- err
+						return
+					}
+					sys.pool = pool
+				} else if _, err := sys.Reset(run, core.DAS, benchmarks, nil, false); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := sys.Run(); err != nil {
+					errc <- err
+					return
+				}
+				pool.Put(sys)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.Hits+st.Misses != workers*iters {
+		t.Errorf("checkouts = %d hits + %d misses, want %d total", st.Hits, st.Misses, workers*iters)
+	}
+	if st.Machines > workers {
+		t.Errorf("%d machines pooled, but only %d were ever concurrent", st.Machines, workers)
+	}
+	if st.CurrentBytes > st.HighWaterBytes {
+		t.Errorf("CurrentBytes %d exceeds HighWaterBytes %d", st.CurrentBytes, st.HighWaterBytes)
+	}
+	pool.Drain()
+	if st = pool.Stats(); st.Machines != 0 || st.CurrentBytes != 0 {
+		t.Errorf("Drain left machines behind: %+v", st)
+	}
+}

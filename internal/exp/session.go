@@ -34,6 +34,17 @@ type Session struct {
 	// uninstrumented systems. Set before the first run.
 	Observe *ObserveOptions
 
+	// Pool overrides the machine pool fresh runs check out of (nil = the
+	// package-level DefaultPool). A pooled run reuses a previously built
+	// machine of the same shape via System.Reset — byte-identical to a
+	// fresh Build — and returns it afterwards. Set before the first run.
+	Pool *SystemPool
+
+	// DisablePool forces every run to build a fresh machine and release
+	// its storage afterwards (the pre-pool lifecycle). The byte-identity
+	// suite and the benchmark harness's fresh-build reference use it.
+	DisablePool bool
+
 	// Ctx, when non-nil, is polled cooperatively by every run this
 	// session performs (at the run loop's observation stride and between
 	// parallel jobs), so cancelling it stops in-flight work promptly.
@@ -162,12 +173,64 @@ func (s *Session) countRun(res *Result) {
 	s.energyPJ.Add(res.Energy.TotalPJ())
 }
 
+// machinePool returns the pool fresh runs check out of (nil = off).
+func (s *Session) machinePool() *SystemPool {
+	if s.DisablePool {
+		return nil
+	}
+	if s.Pool != nil {
+		return s.Pool
+	}
+	return DefaultPool
+}
+
+// build acquires a machine for one run: a pooled machine of matching
+// shape rewound in place when available, a fresh Build otherwise. The
+// returned system is marked for checkin — pass it to finishRun once the
+// run completes.
+func (s *Session) build(cfg config.Config, design core.Design, benchmarks []string, static *core.StaticAssignment) (*System, error) {
+	p := s.machinePool()
+	if p != nil {
+		if sys := p.Get(&cfg, design); sys != nil {
+			if _, err := sys.Reset(cfg, design, benchmarks, static, false); err == nil {
+				return sys, nil
+			}
+			// An invalid cfg (or a shape the key failed to pin) must not
+			// re-pool a half-reset machine; recycle its storage and let the
+			// fresh path report the error.
+			sys.free()
+		}
+	}
+	sys, _, err := Build(cfg, design, benchmarks, static, false)
+	if err != nil {
+		return nil, err
+	}
+	if p != nil {
+		sys.pool = p
+	}
+	return sys, nil
+}
+
+// finishRun returns a pooled machine after its run: checked back in on
+// success, storage-recycled on failure (a failed run may have died
+// mid-event with arbitrary in-flight state; rebuilding is cheaper than
+// proving such a machine rewindable).
+func (s *Session) finishRun(sys *System, err error) {
+	if p := sys.pool; p != nil {
+		if err != nil {
+			sys.free()
+			return
+		}
+		p.Put(sys)
+	}
+}
+
 // Baseline runs (once) the Standard design for the benchmark set.
 func (s *Session) Baseline(benchmarks []string) (*Result, error) {
 	e := s.entry(benchmarks)
 	e.once.Do(func() {
 		cfg := s.cfgFor(benchmarks)
-		sys, _, err := Build(cfg, core.Standard, benchmarks, nil, false)
+		sys, err := s.build(cfg, core.Standard, benchmarks, nil)
 		if err != nil {
 			e.err = err
 			return
@@ -180,6 +243,7 @@ func (s *Session) Baseline(benchmarks []string) (*Result, error) {
 			s.observers.add(obs)
 			s.foldPar(sys)
 		}
+		s.finishRun(sys, e.err)
 		s.countRun(e.res)
 	})
 	return e.res, e.err
@@ -227,7 +291,7 @@ func (s *Session) Run(cfg config.Config, design core.Design, benchmarks []string
 		}
 		static = a
 	}
-	sys, _, err := Build(cfg, design, benchmarks, static, false)
+	sys, err := s.build(cfg, design, benchmarks, static)
 	if err != nil {
 		return nil, err
 	}
@@ -239,6 +303,7 @@ func (s *Session) Run(cfg config.Config, design core.Design, benchmarks []string
 		s.observers.add(obs)
 		s.foldPar(sys)
 	}
+	s.finishRun(sys, err)
 	s.countRun(res)
 	return res, err
 }

@@ -56,6 +56,12 @@ type System struct {
 	// Per-core counter snapshots: [core][0]=at warm-up, [1]=at quota.
 	missSnap [][2]uint64
 	promSnap [][2]uint64
+
+	// pool, when non-nil, owns this machine's memory lifecycle: RunContext
+	// leaves the engines attached (instead of releasing their storage to
+	// the sim pools) so the whole system can be checked back in and reused
+	// via Reset.
+	pool *SystemPool
 }
 
 // Build wires a system running the named benchmarks, one per core.
@@ -185,6 +191,130 @@ func Build(cfg config.Config, design core.Design, benchmarks []string, static *c
 	return sys, prof, nil
 }
 
+// Reset rewinds a previously run system to the just-built state for
+// cfg/design/benchmarks, reusing every retained allocation: engines
+// rewind in place, the DRAM arrays, controller queues, caches, manager
+// tables, and core structures all zero without reallocating. The
+// machine shape — design, core count, geometry, cache organization,
+// CPU pipeline, parallel mode — is pinned; Reset returns an error when
+// cfg departs from it (the SystemPool keys checkouts so this does not
+// happen on the pooled path). Sweepable knobs (timing sets, migration
+// latency, management parameters, page policy, workloads, seeds, fault
+// injection) all take effect exactly as a fresh Build would apply them.
+// Per-run attachments (observer, live progress) are dropped; re-attach
+// before running. Byte-identity with a fresh Build of the same
+// arguments is pinned by TestPooledRunsByteIdentical.
+func (s *System) Reset(cfg config.Config, design core.Design, benchmarks []string, static *core.StaticAssignment, profile bool) (*core.RowProfile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(benchmarks) != cfg.Cores {
+		return nil, fmt.Errorf("exp: %d benchmarks for %d cores", len(benchmarks), cfg.Cores)
+	}
+	if design.Static() && static == nil {
+		return nil, fmt.Errorf("exp: %v requires a static assignment (run a Standard baseline first)", design)
+	}
+	if design != s.Design {
+		return nil, fmt.Errorf("exp: reset to design %v on a system built for %v", design, s.Design)
+	}
+	if cfg.Cores != len(s.Cores) {
+		return nil, fmt.Errorf("exp: reset to %d cores on a %d-core system", cfg.Cores, len(s.Cores))
+	}
+	if (cfg.Parallel >= 2) != (s.Par != nil) {
+		return nil, fmt.Errorf("exp: reset cannot change the execution engine (parallel %d on a machine built otherwise)", cfg.Parallel)
+	}
+	cpuPeriod := sim.NewClockHz(cfg.CPUGHz * 1e9).Period()
+	if got, want := s.LLC.Config(), (cache.Config{
+		Name: "LLC", SizeBytes: cfg.LLCKB << 10, Assoc: cfg.LLCAssoc,
+		BlockSize: cfg.BlockSize, Latency: sim.Time(cfg.LLCLatency) * cpuPeriod,
+		MSHRs: cfg.LLCMSHRs,
+	}); got != want {
+		return nil, fmt.Errorf("exp: reset cannot resize the cache hierarchy (LLC %+v -> %+v)", got, want)
+	}
+	s.Eng.Reset()
+	if s.EngMC != nil {
+		s.EngMC.Reset()
+	}
+	if err := s.Dev.Reset(cfg.DRAMConfig(design)); err != nil {
+		return nil, err
+	}
+	if err := s.Ctl.Reset(mc.Config{
+		WindowSize: cfg.WindowSize, WriteHigh: cfg.WriteHigh, WriteLow: cfg.WriteLow,
+		StarvationLimit: sim.FromNS(cfg.StarvationLimitNS),
+		ClosedPage:      cfg.ClosedPage,
+	}); err != nil {
+		return nil, err
+	}
+	if s.Par != nil {
+		// The synchronization window derives from timing the reset may have
+		// changed (migration-latency sweeps shrink it).
+		s.Par.Reset(s.Dev.MinCrossDomainLatency() / 2)
+		s.Ctl.SetShard(s.Par.Shard(1))
+	}
+	mgrCfg, err := cfg.ManagerConfig(design)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Mgr.Reset(mgrCfg); err != nil {
+		return nil, err
+	}
+	if s.Par != nil {
+		s.Mgr.SetShard(s.Par.Shard(0))
+	}
+	if static != nil {
+		s.Mgr.SetStaticAssignment(static)
+	}
+	if fc := cfg.FaultConfig(); fc.Enabled() {
+		inj, err := fault.NewInjector(fc)
+		if err != nil {
+			return nil, err
+		}
+		s.Mgr.SetFaults(inj)
+	}
+	if cfg.CheckInvariants {
+		s.Mgr.EnableInvariantChecks()
+	}
+	var prof *core.RowProfile
+	if profile {
+		prof = s.Mgr.EnableProfiling()
+	}
+	s.LLC.Reset()
+	s.Mgr.SetLLC(s.LLC)
+	for i, name := range benchmarks {
+		gen, err := MakeGenerator(cfg, name, i)
+		if err != nil {
+			return nil, err
+		}
+		s.L2s[i].Reset()
+		s.L1s[i].Reset()
+		s.Cores[i].Reset(gen)
+	}
+	s.Cfg = cfg
+	s.names = benchmarks
+	s.remaining = cfg.Cores
+	s.warmupsTo = cfg.Cores
+	s.obs = nil
+	s.live = nil
+	s.lastLiveEv, s.lastLiveIn = 0, 0
+	for i := range s.missSnap {
+		s.missSnap[i] = [2]uint64{}
+		s.promSnap[i] = [2]uint64{}
+	}
+	return prof, nil
+}
+
+// free returns the engines' storage to the sim pools and severs the
+// system from any machine pool. The system must not be run afterwards;
+// use it on machines that will not be checked back in (failed runs,
+// over-budget checkins).
+func (s *System) free() {
+	s.pool = nil
+	s.Eng.Release()
+	if s.EngMC != nil {
+		s.EngMC.Release()
+	}
+}
+
 // onWarmup snapshots per-core counters and, once every core has crossed
 // its warm-up boundary, resets the shared statistics.
 func (s *System) onWarmup(id int) {
@@ -298,11 +428,14 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	if err := s.Mgr.CheckReady(); err != nil {
 		return nil, err
 	}
-	// Recycle the event queue's backing arrays into the next run's
-	// engines (sessions build short-lived engines per run).
-	defer s.Eng.Release()
-	if s.EngMC != nil {
-		defer s.EngMC.Release()
+	// Unpooled machines recycle their event queues' backing arrays into
+	// the next run's engines; a pooled machine keeps its engines attached
+	// so the whole system can be checked back in and rewound with Reset.
+	if s.pool == nil {
+		defer s.Eng.Release()
+		if s.EngMC != nil {
+			defer s.EngMC.Release()
+		}
 	}
 	warmup := uint64(float64(s.Cfg.InstrPerCore) * s.Cfg.WarmupFrac)
 	for _, c := range s.Cores {

@@ -122,6 +122,61 @@ func New(cfg Config, eng *sim.Engine, dev *dram.Device, cores int) (*Controller,
 // Device returns the attached DRAM model.
 func (c *Controller) Device() *dram.Device { return c.dev }
 
+// Reset rewinds the controller to its just-constructed state for
+// in-place reuse (exp.SystemPool), adopting cfg's window and watermark
+// settings. The engine and device are retained — reset them first — and
+// the channel count is pinned by the device's geometry. Queues empty
+// with their backing arrays kept (entries zeroed so released requests
+// are collectable), the per-bank window indexes and reservations clear,
+// and both per-build-tag tick schedulers re-initialize exactly as New
+// left them. Telemetry and any parallel-shard binding detach; re-attach
+// per run.
+func (c *Controller) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	c.cfg = cfg
+	c.tel = nil
+	c.shard = nil
+	perCore := c.Stats.PerCore
+	c.Stats = Stats{}
+	for i := range perCore {
+		perCore[i] = [3]uint64{}
+	}
+	c.Stats.PerCore = perCore
+	clock := sim.NewClock(c.dev.ClockPeriod())
+	c.initCtlSched(c.eng, clock)
+	for _, cc := range c.chans {
+		clearPtrs(&cc.readQ)
+		clearPtrs(&cc.writeQ)
+		clearPtrs(&cc.migQ)
+		clearPtrs(&cc.traced)
+		for i := range cc.reserved {
+			cc.reserved[i] = false
+		}
+		for i := range cc.refreshPending {
+			cc.refreshPending[i] = false
+		}
+		for i := range cc.pendR {
+			cc.pendR[i] = 0
+		}
+		for i := range cc.pendW {
+			cc.pendW[i] = 0
+		}
+		cc.drain = false
+		cc.sched = chanSched{}
+		cc.initSched(c.eng, clock)
+	}
+	return nil
+}
+
+// clearPtrs empties a pointer-typed queue keeping its backing array,
+// zeroing the entries so the pooled slice does not pin dead requests.
+func clearPtrs[T any](q *[]*T) {
+	clear(*q)
+	*q = (*q)[:0]
+}
+
 // SetShard marks the controller as running on the memory-side shard of
 // a parallel simulation. Everything the controller schedules for itself
 // (channel ticks, refresh) stays on its own engine; only the events it
@@ -643,6 +698,11 @@ func (cc *chanCtl) issueColumnFrom(t sim.Time, q []*Request, isWrite bool) bool 
 		}
 		cc.account(req, isWrite)
 		cc.remove(req, isWrite)
+		if isWrite && req.Release != nil {
+			// Posted writes already fired Done at enqueue; leaving the
+			// write queue is the controller's last touch.
+			req.Release()
+		}
 		return true
 	}
 	return false
@@ -735,6 +795,10 @@ func (cc *chanCtl) completeRead(req *Request, end sim.Time) {
 		} else {
 			cc.ctl.eng.ScheduleCallAt(end, fireDone, req, nil)
 		}
+	} else if req.Release != nil {
+		// No completion to wait for: the slot is free as soon as the
+		// column command issues.
+		req.Release()
 	}
 }
 

@@ -47,6 +47,14 @@ type Request struct {
 	// Done fires when the data burst completes (reads) or the write is
 	// issued to the device (writes). May be nil.
 	Done func(served ServiceKind)
+	// Release fires when the controller permanently lets go of the
+	// request — after Done for reads, at write issue for posted writes —
+	// so a producer recycling request storage knows exactly when reuse is
+	// safe. May be nil. Like Done it must be bound once per pooled slot,
+	// never allocated per request, or the recycling saves nothing. In a
+	// sharded run writes release on the memory-side shard while reads
+	// release on the processor side; a shared freelist needs a lock.
+	Release func()
 	// Trace carries the sampled flight-recorder span across the
 	// translation boundary; nil means untraced.
 	Trace *reqtrace.Span
@@ -62,6 +70,13 @@ type Request struct {
 func fireDone(a, _ any) {
 	r := a.(*Request)
 	r.Done(r.doneKind)
+	// The burst-end event is the controller's last touch of a read:
+	// it left the queues and the traced ring at issue, so the slot can
+	// go back to its producer now. Done runs first — it may read the
+	// request's fields and must not observe a recycled slot.
+	if r.Release != nil {
+		r.Release()
+	}
 }
 
 // migOp is one pending migration (promotion swap) on a specific bank.

@@ -15,13 +15,20 @@ import (
 // cache lives above the runner, so sharing sessions across jobs would
 // only add lock contention for no extra hits), with the session's
 // cooperative-cancellation context wired in and the PR 1 no-progress
-// watchdog re-armed against wall-clock time.
-func simRunner(window time.Duration) Runner {
+// watchdog re-armed against wall-clock time. Sessions share the
+// server's machine pool so consecutive jobs over one machine shape
+// reuse built systems (nil pool = every run builds fresh).
+func simRunner(window time.Duration, pool *exp.SystemPool) Runner {
 	return func(ctx context.Context, spec *Job) ([]byte, error) {
 		cctx, cancel := context.WithCancelCause(ctx)
 		defer cancel(nil)
 		sess := exp.NewSession(spec.Cfg)
 		sess.Ctx = cctx
+		if pool != nil {
+			sess.Pool = pool
+		} else {
+			sess.DisablePool = true
+		}
 		if len(spec.Benchmarks) > 0 {
 			sess.Benchmarks = spec.Benchmarks
 		}

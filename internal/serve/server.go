@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/exp"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/jobtrace"
 )
@@ -62,6 +63,12 @@ type Options struct {
 	// JobTraceDepth bounds the completed lifecycle-span ring
 	// (0 = jobtrace.DefaultDepth).
 	JobTraceDepth int
+	// PoolBytes budgets the server's machine pool: simulation jobs check
+	// built systems out of it and back in, so sweeps over one machine
+	// shape stop paying per-point allocation (0 = exp.DefaultPoolBytes;
+	// <0 = pooling off, every run builds fresh). The pool drains on
+	// Shutdown.
+	PoolBytes int64
 }
 
 // Defaults for the zero Options values.
@@ -120,6 +127,11 @@ type Server struct {
 	jobCtx    context.Context
 	jobCancel context.CancelCauseFunc
 	wg        sync.WaitGroup
+
+	// pool recycles simulation machines across this server's jobs (nil
+	// when Options.PoolBytes < 0: every run builds fresh). Internally
+	// locked; drained by Shutdown.
+	pool *exp.SystemPool
 }
 
 // entry is one cache slot doubling as the singleflight rendezvous:
@@ -171,8 +183,15 @@ func New(opt Options) *Server {
 		byHash: make(map[uint64]*entry),
 		queue:  make(chan *job, opt.QueueDepth),
 	}
+	if opt.PoolBytes >= 0 {
+		bytes := opt.PoolBytes
+		if bytes == 0 {
+			bytes = exp.DefaultPoolBytes
+		}
+		s.pool = exp.NewSystemPool(bytes)
+	}
 	if s.runner == nil {
-		s.runner = simRunner(opt.WatchdogWindow)
+		s.runner = simRunner(opt.WatchdogWindow, s.pool)
 	}
 	s.cAdmitted = s.reg.Counter("serve.jobs.admitted")
 	s.cDone = s.reg.Counter("serve.jobs.done")
@@ -385,6 +404,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	// Once the workers exit, no job can touch the machine pool again;
+	// release its standing memory (lifetime stats survive for /jobs).
+	defer func() {
+		if s.pool != nil {
+			s.pool.Drain()
+		}
+	}()
 	select {
 	case <-done:
 		return nil
@@ -394,6 +420,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done // cancellation is cooperative and prompt (observation-stride polls)
 		return ctx.Err()
 	}
+}
+
+// PoolStats snapshots the machine pool's lifetime activity (zero stats
+// when pooling is disabled).
+func (s *Server) PoolStats() exp.PoolStats {
+	if s.pool == nil {
+		return exp.PoolStats{}
+	}
+	return s.pool.Stats()
 }
 
 // Handler returns the service mux: POST /run, POST /key, GET /healthz,
@@ -512,6 +547,25 @@ type jobsJSON struct {
 	// upper bounds). Map keys render sorted, so the document is
 	// deterministic for a given state.
 	Quantiles map[string]map[string]float64 `json:"quantiles"`
+	// Pool reports the machine pool's lifetime activity; absent when
+	// pooling is disabled (Options.PoolBytes < 0).
+	Pool *poolJSON `json:"pool,omitempty"`
+}
+
+// poolJSON is the /jobs machine-pool section.
+type poolJSON struct {
+	// HitRate is checkouts served by a recycled machine over all
+	// checkouts (zero until the first simulation).
+	HitRate float64 `json:"hit_rate"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	// Drops counts checkins discarded because the byte budget was full.
+	Drops uint64 `json:"drops"`
+	// Machines currently parked, their estimated standing bytes, and the
+	// lifetime maximum of that estimate.
+	Machines       int   `json:"machines"`
+	CurrentBytes   int64 `json:"current_bytes"`
+	HighWaterBytes int64 `json:"high_water_bytes"`
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
@@ -542,6 +596,13 @@ func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	hits := out.Metrics["serve.cache.hits"] + out.Metrics["serve.cache.coalesced"]
 	if total := hits + out.Metrics["serve.cache.misses"]; total > 0 {
 		out.CacheHitRatio = hits / total
+	}
+	if s.pool != nil {
+		st := s.pool.Stats()
+		out.Pool = &poolJSON{
+			HitRate: st.HitRate(), Hits: st.Hits, Misses: st.Misses, Drops: st.Drops,
+			Machines: st.Machines, CurrentBytes: st.CurrentBytes, HighWaterBytes: st.HighWaterBytes,
+		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

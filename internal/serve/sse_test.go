@@ -391,7 +391,7 @@ func TestStreamedRunBytesExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := simRunner(0)(context.Background(), spec)
+	fresh, err := simRunner(0, nil)(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

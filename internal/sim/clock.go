@@ -86,6 +86,12 @@ func (t *Ticker) Start() {
 // Stop requests that ticking cease after the current cycle.
 func (t *Ticker) Stop() { t.stopped = true }
 
+// Reset returns the ticker to its initial stopped state for in-place
+// reuse. Only valid once the engine's queue has been emptied (Engine
+// Reset/Drain): a still-scheduled tick would otherwise fire against the
+// rewound state.
+func (t *Ticker) Reset() { t.running, t.stopped = false, true }
+
 // Running reports whether a tick is scheduled.
 func (t *Ticker) Running() bool { return t.running }
 

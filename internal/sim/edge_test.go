@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // TestFromNSEdges pins FromNS at the edges: negative durations round
 // away from zero symmetrically with positive ones, sub-picosecond
@@ -138,9 +141,10 @@ func TestScheduleCallPanics(t *testing.T) {
 	mustPanic("nil callback", func() { e.ScheduleCall(1, nil, nil, nil) })
 }
 
-// TestReleaseReuse pins the queue pool contract: an engine keeps
-// working after Release, and a fresh engine adopting the pooled backing
-// starts empty at time zero.
+// TestReleaseReuse pins the pool contract: Release hands the engine —
+// struct and queue backing — to the package pool, and a fresh engine
+// adopting the pooled storage starts empty at time zero. (In-place
+// reuse of a retained engine is Reset's job; see TestEngineReset.)
 func TestReleaseReuse(t *testing.T) {
 	e1 := NewEngine()
 	for i := 0; i < 100; i++ {
@@ -148,20 +152,11 @@ func TestReleaseReuse(t *testing.T) {
 	}
 	e1.RunUntil(49)
 	e1.Release()
-	if e1.Pending() != 0 {
-		t.Fatalf("%d events pending after Release, want 0", e1.Pending())
-	}
-	// Still usable post-Release.
-	ran := false
-	e1.Schedule(1, func() { ran = true })
-	e1.Run()
-	if !ran {
-		t.Fatal("engine unusable after Release")
-	}
 
-	e2 := NewEngine() // likely adopts e1's released backing
-	if e2.Pending() != 0 || e2.Now() != 0 {
-		t.Fatalf("pooled engine not pristine: %d pending, now %d", e2.Pending(), e2.Now())
+	e2 := NewEngine() // likely adopts e1's released struct and backing
+	if e2.Pending() != 0 || e2.Now() != 0 || e2.Executed() != 0 {
+		t.Fatalf("pooled engine not pristine: %d pending, now %d, executed %d",
+			e2.Pending(), e2.Now(), e2.Executed())
 	}
 	n := 0
 	for i := 0; i < 10; i++ {
@@ -171,4 +166,40 @@ func TestReleaseReuse(t *testing.T) {
 	if n != 10 {
 		t.Fatalf("pooled engine fired %d of 10 events", n)
 	}
+	e2.Release()
+}
+
+// TestEngineReset pins the in-place reuse contract: after Reset a
+// retained engine replays a workload exactly as a brand-new engine
+// would — same firing order, same clock, same executed count — with
+// pending events from the previous run discarded.
+func TestEngineReset(t *testing.T) {
+	run := func(e *Engine) (order []int, now Time, executed uint64) {
+		for i := 0; i < 20; i++ {
+			i := i
+			e.Schedule(Time(100-5*i), func() { order = append(order, i) })
+		}
+		e.Run()
+		return order, e.Now(), e.Executed()
+	}
+	fresh := NewEngine()
+	wantOrder, wantNow, wantExec := run(fresh)
+	fresh.Release()
+
+	e := NewEngine()
+	for i := 0; i < 50; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.RunUntil(24) // leave half the events pending, clock mid-run
+	e.Reset()
+	if e.Pending() != 0 || e.Now() != 0 || e.Executed() != 0 {
+		t.Fatalf("engine not pristine after Reset: %d pending, now %d, executed %d",
+			e.Pending(), e.Now(), e.Executed())
+	}
+	order, now, exec := run(e)
+	if fmt.Sprint(order) != fmt.Sprint(wantOrder) || now != wantNow || exec != wantExec {
+		t.Fatalf("reset engine diverged from fresh: order %v/%v now %d/%d executed %d/%d",
+			order, wantOrder, now, wantNow, exec, wantExec)
+	}
+	e.Release()
 }

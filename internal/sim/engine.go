@@ -13,7 +13,10 @@
 // build tag) produces byte-identical simulations.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Time is a simulation timestamp in picoseconds.
 type Time int64
@@ -101,10 +104,18 @@ type Engine struct {
 	executed uint64
 }
 
+// enginePool recycles Engine structs across Release/NewEngine so the
+// build-run-release cycle of an experiment session allocates nothing at
+// steady state: Release zeroes the struct (its queue storage goes back
+// to its own pools first), and NewEngine re-attaches pooled storage to
+// a recycled struct.
+var enginePool = sync.Pool{New: func() any { return new(Engine) }}
+
 // NewEngine returns an empty engine at time zero, reusing pooled queue
-// storage released by previous engines (see Release).
+// storage — and the Engine struct itself — released by previous engines
+// (see Release).
 func NewEngine() *Engine {
-	e := &Engine{}
+	e := enginePool.Get().(*Engine)
 	e.q.attachPooled()
 	return e
 }
@@ -270,11 +281,29 @@ func (e *Engine) Run() {
 // for reuse by later scheduling phases.
 func (e *Engine) Drain() { e.q.reset() }
 
-// Release discards any pending events and returns the queue's backing
-// storage to a package-level free list, where the next NewEngine picks
-// it up. An experiment session builds one short-lived engine per run,
-// and the queue arrays they grow are the engine's only steady-state
-// allocation; releasing them makes the whole schedule/fire path
-// allocation-free across runs. The engine remains usable afterwards
-// (its queue simply starts empty and unpooled).
-func (e *Engine) Release() { e.q.release() }
+// Reset rewinds a retained engine to time zero for in-place reuse:
+// pending events are discarded, the clock, sequence counters and the
+// executed count return to their initial state, and the queue keeps its
+// backing storage attached. After Reset the engine is indistinguishable
+// from a fresh NewEngine, which is what lets a pooled system (exp
+// package) replay a byte-identical simulation without rebuilding.
+func (e *Engine) Reset() {
+	e.q.reset()
+	e.q.attachPooled()
+	e.now, e.seqAt, e.seqCtr, e.cur, e.executed = 0, 0, 0, 0, 0
+}
+
+// Release discards any pending events, returns the queue's backing
+// storage to a package-level free list, and recycles the Engine struct
+// itself, where the next NewEngine picks both up. An experiment session
+// builds one short-lived engine per run, and the queue arrays plus the
+// struct are the engine's only steady-state allocations; releasing them
+// makes the whole build/schedule/fire cycle allocation-free across
+// runs. Release transfers ownership: the engine must not be used again
+// afterwards (callers that want to rewind and reuse an engine in place
+// call Reset instead).
+func (e *Engine) Release() {
+	e.q.release()
+	*e = Engine{}
+	enginePool.Put(e)
+}

@@ -77,12 +77,12 @@ func BenchmarkEngineScheduleClosure(b *testing.B) {
 // an engine, running a small workload, and returning the queue backing
 // to the pool — the exp.Session fresh-run pattern.
 //
-// The steady state is 1 alloc/op: the Engine struct itself. It cannot
-// be pooled under the current API — Release leaves the engine usable
-// (exp.System holds its *Engine past Release), so recycling it into the
-// next NewEngine would alias live state. Everything behind the struct
-// (wheel, bucket arrays, overflow heap) is pooled and allocation-free
-// across runs.
+// The steady state is 0 allocs/op: Release recycles the Engine struct
+// itself along with everything behind it (wheel, bucket arrays,
+// overflow heap). This became possible when Release switched to an
+// ownership-transferring contract — an engine must not be used after
+// Release; systems that outlive a run and want to rewind their engine
+// in place call Reset instead (the exp.SystemPool path).
 func BenchmarkEngineReleaseReuse(b *testing.B) {
 	var cs churner
 	b.ReportAllocs()

@@ -298,6 +298,28 @@ func NewParEngine(up, down *Engine, win Time) *ParEngine {
 // Window returns the epoch window.
 func (pe *ParEngine) Window() Time { return pe.win }
 
+// Reset rewinds the coupled shards for in-place reuse after both
+// engines have been Reset: mailboxes empty (keeping capacity), send
+// indexes and occupancy profiles rewind, and the epoch window is
+// replaced — timing-parameter sweeps (e.g. migration latency) change
+// the minimum cross-domain latency without changing the machine shape.
+// The Shard pointers are stable across Reset, so components that hold
+// one keep a valid reference.
+func (pe *ParEngine) Reset(win Time) {
+	if win <= 0 {
+		panic("sim: parallel engine window must be positive")
+	}
+	pe.win = win
+	pe.prof = [2]ShardProf{}
+	for _, s := range pe.sh {
+		s.out = nil
+		s.sendIdx = 0
+		clear(s.inbox)
+		s.inbox = s.inbox[:0]
+		s.pos = 0
+	}
+}
+
 // Shard returns shard i (0 = up, 1 = down).
 func (pe *ParEngine) Shard(i int) *Shard { return pe.sh[i] }
 

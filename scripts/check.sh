@@ -16,9 +16,13 @@ go build ./...
 echo "== go test -race"
 # Full suite under the race detector; this is also the concurrency gate
 # for the telemetry publisher (concurrent Publish/snapshot/Shutdown),
-# the exp observer attach/flush paths, and the dasserve core
-# (internal/serve: singleflight, shedding, drain, panic isolation).
-go test -race ./...
+# the exp observer attach/flush paths, the machine pool's concurrent
+# checkout cycle, and the dasserve core (internal/serve: singleflight,
+# shedding, drain, panic isolation). The explicit timeout is headroom
+# over go test's 10m default: the exp byte-identity suites near it
+# under the race detector on a slow box, and a timeout there would
+# read as a test failure.
+go test -race -timeout 30m ./...
 
 echo "== engine cross-check: container/heap reference queue (-tags sim_refheap)"
 # The reference queue is the pre-rewrite implementation kept behind a
@@ -55,6 +59,15 @@ echo "== parallel-engine byte identity: sequential vs sharded machine"
 go run ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 -parallel 2 >"$tmp_ref" 2>/dev/null
 cmp "$tmp_quad" "$tmp_ref"
 go run ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 -parallel 4 >"$tmp_ref" 2>/dev/null
+cmp "$tmp_quad" "$tmp_ref"
+
+echo "== machine-pool byte identity: pooled vs fresh-build machines"
+# The baseline run above reused pooled machines (the default); the same
+# figure with -nopool builds every machine from scratch. Byte-equal
+# output is the System.Reset contract: a rewound machine is
+# indistinguishable from a new one. The command-stream digests behind
+# this are gated per design by TestPooledRunsByteIdentical.
+go run ./cmd/dasbench -fig 7a -benchmarks mcf,soplex -instr 200000 -nopool >"$tmp_ref" 2>/dev/null
 cmp "$tmp_quad" "$tmp_ref"
 
 echo "== telemetry determinism: observed run renders identical figures"
@@ -123,13 +136,16 @@ echo "== benchmark smoke (1 iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
 
 echo "== bench regression gate (benchjson -compare vs BENCH_baseline.json)"
-# BenchmarkFig7a at the baseline's iteration count, gated against the
-# checked-in acceptance numbers: wall ns/op may not rise more than 10%
-# and instr/s may not drop more than 10% (both skipped automatically on
-# a different CPU); allocs/op may not rise more than 10% (gated
-# everywhere). events/s is reported but informational — next-event
+# BenchmarkFig7a and its pooled-sweep variant at the baseline's
+# iteration count, gated against the checked-in acceptance numbers:
+# wall ns/op may not rise more than 10% and instr/s may not drop more
+# than 10% (both skipped automatically on a different CPU); allocs/op
+# and B/op may not rise more than 10% (gated everywhere — these pin the
+# machine pool and the request-slot recycling: a Reset path that
+# silently rebuilt, or a recycler that stopped recycling, fails here on
+# any machine). events/s is reported but informational — next-event
 # scheduling changes the event count per simulated instruction.
-go test -run '^$' -bench '^BenchmarkFig7a$' -benchmem -benchtime 3x . |
+go test -run '^$' -bench '^BenchmarkFig7a' -benchmem -benchtime 3x . |
     go run ./cmd/benchjson -compare BENCH_baseline.json
 
 echo "== fault-sweep smoke (dasbench -fig faults)"
